@@ -1,0 +1,125 @@
+// Substrate microbenchmarks: throughput of the BDD package on the kernels
+// the traversal is made of (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "core/traversal.hpp"
+#include "stg/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace stgcheck;
+using bdd::Bdd;
+
+/// Random SOP over `vars` variables with `cubes` cubes of ~`density` lits.
+Bdd random_sop(bdd::Manager& m, Rng& rng, std::size_t vars, std::size_t cubes) {
+  Bdd f = m.bdd_false();
+  for (std::size_t c = 0; c < cubes; ++c) {
+    Bdd term = m.bdd_true();
+    for (bdd::Var v = 0; v < vars; ++v) {
+      if (rng.below(3) == 0) term &= rng.flip() ? m.var(v) : !m.var(v);
+    }
+    f |= term;
+  }
+  return f;
+}
+
+void BM_BddConjunction(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  bdd::Manager m;
+  for (std::size_t v = 0; v < vars; ++v) m.new_var();
+  Rng rng(7);
+  Bdd f = random_sop(m, rng, vars, 24);
+  Bdd g = random_sop(m, rng, vars, 24);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f & g);
+  }
+  state.counters["nodes"] = static_cast<double>(m.stats().live_count);
+}
+BENCHMARK(BM_BddConjunction)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BddExists(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  bdd::Manager m;
+  for (std::size_t v = 0; v < vars; ++v) m.new_var();
+  Rng rng(11);
+  Bdd f = random_sop(m, rng, vars, 24);
+  std::vector<bdd::Var> half;
+  for (bdd::Var v = 0; v < vars; v += 2) half.push_back(v);
+  Bdd cube = m.positive_cube(half);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.exists(f, cube));
+  }
+}
+BENCHMARK(BM_BddExists)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BddAndExists(benchmark::State& state) {
+  const std::size_t vars = static_cast<std::size_t>(state.range(0));
+  bdd::Manager m;
+  for (std::size_t v = 0; v < vars; ++v) m.new_var();
+  Rng rng(13);
+  Bdd f = random_sop(m, rng, vars, 24);
+  Bdd g = random_sop(m, rng, vars, 24);
+  std::vector<bdd::Var> half;
+  for (bdd::Var v = 0; v < vars; v += 2) half.push_back(v);
+  Bdd cube = m.positive_cube(half);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.and_exists(f, g, cube));
+  }
+}
+BENCHMARK(BM_BddAndExists)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SatCount(benchmark::State& state) {
+  bdd::Manager m;
+  for (std::size_t v = 0; v < 48; ++v) m.new_var();
+  Rng rng(17);
+  Bdd f = random_sop(m, rng, 48, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.sat_count(f));
+  }
+}
+BENCHMARK(BM_SatCount);
+
+/// The traversal inner kernel: one image computation on a real encoding.
+void BM_ImageKernel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  stg::Stg s = stg::muller_pipeline(n);
+  core::SymbolicStg sym(s);
+  core::TraversalResult r = core::traverse(sym);
+  for (auto _ : state) {
+    for (pn::TransitionId t = 0; t < s.net().transition_count(); ++t) {
+      benchmark::DoNotOptimize(sym.image(r.reached, t));
+    }
+  }
+  state.counters["reached_nodes"] =
+      static_cast<double>(sym.manager().count_nodes(r.reached));
+}
+BENCHMARK(BM_ImageKernel)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_FullTraversal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  stg::Stg s = stg::muller_pipeline(n);
+  for (auto _ : state) {
+    core::SymbolicStg sym(s);
+    core::TraversalResult r = core::traverse(sym);
+    benchmark::DoNotOptimize(r.stats.states);
+  }
+}
+BENCHMARK(BM_FullTraversal)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_Sifting(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    stg::Stg s = stg::master_read(6);
+    core::SymbolicStg sym(s, core::Ordering::kRandom);
+    core::TraversalResult r = core::traverse(sym);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sym.manager().sift());
+  }
+}
+BENCHMARK(BM_Sifting)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Sec. 6 of the paper: "we have found that BDDs may have an exponential
+// size if appropriate heuristics for variable ordering are not used."
+//
+// This ablation quantifies that remark: the same traversal under four
+// static orders. The structural interleaving keeps each place variable
+// next to the variables it interacts with; separating places from signals
+// (or shuffling everything) inflates the peak BDD by orders of magnitude.
+#include <cstdio>
+
+#include "core/traversal.hpp"
+#include "stg/generators.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace stgcheck;
+
+void run(const stg::Stg& s) {
+  std::printf("--- %s (places=%zu signals=%zu) ---\n", s.name().c_str(),
+              s.net().place_count(), s.signal_count());
+  struct Arm {
+    const char* name;
+    core::Ordering ordering;
+  };
+  for (const Arm& arm : {Arm{"interleaved", core::Ordering::kInterleaved},
+                         Arm{"clustered", core::Ordering::kClustered},
+                         Arm{"declaration", core::Ordering::kDeclaration},
+                         Arm{"signals-first", core::Ordering::kSignalsFirst},
+                         Arm{"random", core::Ordering::kRandom}}) {
+    Stopwatch watch;
+    core::SymbolicStg sym(s, arm.ordering);
+    core::TraversalOptions options;
+    options.auto_sift = false;  // measure the raw static orders
+    core::TraversalResult r = core::traverse(sym, options);
+    std::printf("  %-14s peak=%8zu final=%8zu nodes  time=%7.3fs  (states=%.3e)\n",
+                arm.name, r.stats.peak_reached_nodes, r.stats.final_reached_nodes,
+                watch.seconds(), r.stats.states);
+    std::fflush(stdout);
+  }
+
+  // Extension: dynamic reordering. Sifting after traversal shrinks the
+  // final representation regardless of the initial order.
+  core::SymbolicStg sym(s, core::Ordering::kRandom);
+  core::TraversalResult r = core::traverse(sym);
+  const std::size_t before = sym.manager().count_nodes(r.reached);
+  Stopwatch sift_watch;
+  sym.manager().sift();
+  std::printf("  %-14s %8zu -> %6zu nodes for Reached  (sift time %.3fs)\n",
+              "random+sift", before, sym.manager().count_nodes(r.reached),
+              sift_watch.seconds());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Variable ordering ablation (Sec. 6 remark) ===");
+  run(stg::muller_pipeline(12));
+  run(stg::master_read(6));
+  run(stg::mutex_arbiter(8));
+  return 0;
+}

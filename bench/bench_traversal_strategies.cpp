@@ -1,0 +1,65 @@
+// Fig. 5 ablation: the paper's chaining traversal against a classic
+// frontier BFS and a full-fixpoint recomputation.
+//
+// Chaining lets transitions later in the pass fire from states discovered
+// earlier in the same pass, cutting the number of outer passes (and hence
+// peak intermediate BDDs) on long pipelines.
+#include <cstdio>
+
+#include "core/relation.hpp"
+#include "core/traversal.hpp"
+#include "stg/generators.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace stgcheck;
+
+void run(const stg::Stg& s) {
+  std::printf("--- %s ---\n", s.name().c_str());
+  struct Arm {
+    const char* name;
+    core::TraversalStrategy strategy;
+  };
+  for (const Arm& arm :
+       {Arm{"chaining (Fig.5)", core::TraversalStrategy::kChaining},
+        Arm{"frontier BFS", core::TraversalStrategy::kFrontierBfs},
+        Arm{"full fixpoint", core::TraversalStrategy::kFullFixpoint}}) {
+    Stopwatch watch;
+    core::SymbolicStg sym(s);
+    core::TraversalOptions options;
+    options.strategy = arm.strategy;
+    core::TraversalResult r = core::traverse(sym, options);
+    std::printf(
+        "  %-18s passes=%4zu images=%6zu peak=%8zu nodes time=%7.3fs states=%.3e\n",
+        arm.name, r.stats.passes, r.stats.image_computations,
+        r.stats.peak_reached_nodes, watch.seconds(), r.stats.states);
+    std::fflush(stdout);
+  }
+  // The conventional alternative the paper avoids: one monolithic
+  // transition relation over (V, V') applied by relational product.
+  {
+    Stopwatch watch;
+    core::SymbolicStg sym(s, core::Ordering::kInterleaved, 1 << 14,
+                          /*with_primed_vars=*/true);
+    core::RelationalEngine engine(sym);
+    const std::size_t relation_nodes = sym.manager().count_nodes(engine.monolithic());
+    core::RelationalEngine::ReachResult r = engine.reach();
+    std::printf(
+        "  %-18s passes=%4zu relation=%6zu peak=%8zu nodes time=%7.3fs states=%.3e\n",
+        "monolithic rel.", r.passes, relation_nodes, r.peak_nodes,
+        watch.seconds(), sym.count_states(r.reached));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Traversal strategy ablation (Fig. 5) ===");
+  run(stg::muller_pipeline(16));
+  run(stg::master_read(8));
+  run(stg::mutex_arbiter(12));
+  run(stg::select_chain(24));
+  return 0;
+}

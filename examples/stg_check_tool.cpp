@@ -1,0 +1,179 @@
+// stg_check: the command-line implementability checker.
+//
+//   usage: stg_check [options] <file.g>
+//     --arbitrate A,B   declare an arbitration pair (repeatable; footnote 1)
+//     --ordering  O     interleaved | clustered | declaration |
+//                       signals-first | random
+//     --strategy  S     chaining | bfs | fixpoint
+//     --equations       also derive and print the complex-gate netlist
+//     --explain         print firing-trace witnesses for CSC/persistency
+//                       violations (uses the explicit engine)
+//     --dot             print the STG as Graphviz dot
+//     --write-back      echo the parsed STG in .g format (round-trip check)
+//
+// Exit status: 0 if the STG is gate- or I/O-implementable, 2 otherwise,
+// 1 on usage or parse errors.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/implementability.hpp"
+#include "logic/logic.hpp"
+#include "sg/witnesses.hpp"
+#include "stg/astg_io.hpp"
+#include "stg/dot_export.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: stg_check [options] <file.g>\n"
+      "  --arbitrate A,B   declare an arbitration signal pair (repeatable)\n"
+      "  --ordering  O     interleaved | clustered | declaration |\n"
+      "                    signals-first | random\n"
+      "  --strategy  S     chaining | bfs | fixpoint\n"
+      "  --equations       derive and print the complex-gate netlist\n"
+      "  --explain         print firing-trace witnesses for violations\n"
+      "  --dot             print the STG as Graphviz dot\n"
+      "  --write-back      echo the parsed STG in .g format\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stgcheck;
+
+  core::CheckOptions options;
+  bool equations = false;
+  bool explain = false;
+  bool dot = false;
+  bool write_back = false;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_arg = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--arbitrate") {
+      const std::string pair = next_arg();
+      const std::size_t comma = pair.find(',');
+      if (comma == std::string::npos) {
+        std::fprintf(stderr, "--arbitrate expects A,B got %s\n", pair.c_str());
+        return 1;
+      }
+      options.arbitration_pairs.push_back(
+          {pair.substr(0, comma), pair.substr(comma + 1)});
+    } else if (arg == "--ordering") {
+      const std::string o = next_arg();
+      if (o == "interleaved") {
+        options.ordering = core::Ordering::kInterleaved;
+      } else if (o == "clustered") {
+        options.ordering = core::Ordering::kClustered;
+      } else if (o == "declaration") {
+        options.ordering = core::Ordering::kDeclaration;
+      } else if (o == "signals-first") {
+        options.ordering = core::Ordering::kSignalsFirst;
+      } else if (o == "random") {
+        options.ordering = core::Ordering::kRandom;
+      } else {
+        std::fprintf(stderr, "unknown ordering %s\n", o.c_str());
+        return 1;
+      }
+    } else if (arg == "--strategy") {
+      const std::string s = next_arg();
+      if (s == "chaining") {
+        options.strategy = core::TraversalStrategy::kChaining;
+      } else if (s == "bfs") {
+        options.strategy = core::TraversalStrategy::kFrontierBfs;
+      } else if (s == "fixpoint") {
+        options.strategy = core::TraversalStrategy::kFullFixpoint;
+      } else {
+        std::fprintf(stderr, "unknown strategy %s\n", s.c_str());
+        return 1;
+      }
+    } else if (arg == "--equations") {
+      equations = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--write-back") {
+      write_back = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 1;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 1;
+  }
+
+  try {
+    stg::Stg spec = stg::parse_astg_file(path);
+    spec.validate();
+    if (write_back) {
+      std::fputs(stg::write_astg_string(spec).c_str(), stdout);
+    }
+    if (dot) {
+      std::fputs(stg::to_dot(spec).c_str(), stdout);
+    }
+
+    core::ImplementabilityReport report = core::check_implementability(spec, options);
+    std::fputs(report.summary(spec).c_str(), stdout);
+
+    if (explain && report.safe && report.consistent) {
+      sg::StateGraph graph = sg::build_state_graph(spec);
+      if (!graph.complete) {
+        std::puts("(--explain skipped: net too large for the explicit engine)");
+      } else {
+        sg::PersistencyOptions popts;
+        for (const auto& [a, b] : options.arbitration_pairs) {
+          const stg::SignalId sa = spec.find_signal(a);
+          const stg::SignalId sb = spec.find_signal(b);
+          if (sa != stg::kNoSignal && sb != stg::kNoSignal) {
+            popts.arbitration_pairs.push_back({sa, sb});
+          }
+        }
+        for (const auto& w : sg::explain_persistency_violations(graph, popts)) {
+          std::fputs(w.pretty(spec).c_str(), stdout);
+        }
+        for (const auto& w : sg::explain_csc_violations(graph)) {
+          std::fputs(w.pretty(spec).c_str(), stdout);
+        }
+      }
+    }
+
+    if (equations && report.safe && report.consistent) {
+      logic::LogicResult gates =
+          logic::derive_logic(*report.encoding, report.traversal.reached);
+      std::puts("\nComplex-gate netlist:");
+      std::fputs(gates.netlist().c_str(), stdout);
+    }
+
+    const bool implementable =
+        report.level == core::ImplementabilityLevel::kGateImplementable ||
+        report.level == core::ImplementabilityLevel::kIoImplementable;
+    return implementable ? 0 : 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

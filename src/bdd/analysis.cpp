@@ -1,0 +1,248 @@
+// Structural analysis: support, node counting, SAT counting, minterm
+// extraction and text/dot output. None of these allocate BDD nodes except
+// pick_one_minterm (which builds a cube).
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace stgcheck::bdd {
+
+std::uint32_t Manager::next_stamp() const {
+  return ++stamp_counter_;
+}
+
+// ---------------------------------------------------------------------------
+// Support
+// ---------------------------------------------------------------------------
+
+std::vector<Var> Manager::support(const Bdd& f) const {
+  std::vector<bool> seen_var(var2level_.size(), false);
+  const std::uint32_t stamp = next_stamp();
+  std::vector<NodeRef> stack{f.ref()};
+  while (!stack.empty()) {
+    const NodeRef r = stack.back();
+    stack.pop_back();
+    if (is_term(r)) continue;
+    const Node& n = node(r);
+    if (n.stamp == stamp) continue;
+    n.stamp = stamp;
+    seen_var[n.var] = true;
+    stack.push_back(n.low);
+    stack.push_back(n.high);
+  }
+  std::vector<Var> vars;
+  for (Var v = 0; v < seen_var.size(); ++v) {
+    if (seen_var[v]) vars.push_back(v);
+  }
+  std::sort(vars.begin(), vars.end(), [this](Var a, Var b) {
+    return var2level_[a] < var2level_[b];
+  });
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// Node counting
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::count_nodes(const Bdd& f) const {
+  return count_nodes(std::vector<Bdd>{f});
+}
+
+std::size_t Manager::count_nodes(const std::vector<Bdd>& fs) const {
+  const std::uint32_t stamp = next_stamp();
+  std::size_t count = 0;
+  std::vector<NodeRef> stack;
+  for (const Bdd& f : fs) {
+    if (f.valid()) stack.push_back(f.ref());
+  }
+  while (!stack.empty()) {
+    const NodeRef r = stack.back();
+    stack.pop_back();
+    if (is_term(r)) continue;
+    const Node& n = node(r);
+    if (n.stamp == stamp) continue;
+    n.stamp = stamp;
+    ++count;
+    stack.push_back(n.low);
+    stack.push_back(n.high);
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// SAT counting
+// ---------------------------------------------------------------------------
+
+double Manager::sat_count(const Bdd& f) const {
+  // Satisfaction probability over uniform assignments, times 2^n. The
+  // probability recursion avoids any level arithmetic.
+  std::unordered_map<NodeRef, double> prob;
+  std::function<double(NodeRef)> go = [&](NodeRef r) -> double {
+    if (r == kFalse) return 0.0;
+    if (r == kTrue) return 1.0;
+    auto it = prob.find(r);
+    if (it != prob.end()) return it->second;
+    const Node& n = node(r);
+    const double p = 0.5 * go(n.low) + 0.5 * go(n.high);
+    prob.emplace(r, p);
+    return p;
+  };
+  return go(f.ref()) * std::pow(2.0, static_cast<double>(var2level_.size()));
+}
+
+double Manager::sat_count_over(const Bdd& f, const std::vector<Var>& vars) const {
+  const std::vector<Var> sup = support(f);
+  for (Var v : sup) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      throw ModelError("sat_count_over: support of f exceeds the given variables");
+    }
+  }
+  const double full = sat_count(f);
+  const double extra = static_cast<double>(var2level_.size() - vars.size());
+  return full / std::pow(2.0, extra);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation and minterms
+// ---------------------------------------------------------------------------
+
+bool Manager::eval(const Bdd& f, const std::vector<bool>& assignment) const {
+  NodeRef r = f.ref();
+  while (!is_term(r)) {
+    const Node& n = node(r);
+    if (n.var >= assignment.size()) throw ModelError("eval: assignment too short");
+    r = assignment[n.var] ? n.high : n.low;
+  }
+  return r == kTrue;
+}
+
+Bdd Manager::pick_one_minterm(const Bdd& f, const std::vector<Var>& vars) {
+  if (f.ref() == kFalse) throw ModelError("pick_one_minterm: empty set");
+  CubeLiterals literals;
+  literals.reserve(vars.size());
+  // Walk down the BDD once, then fill the remaining variables with 0.
+  std::vector<bool> chosen(var2level_.size(), false);
+  std::vector<bool> value(var2level_.size(), false);
+  NodeRef r = f.ref();
+  while (!is_term(r)) {
+    const Node& n = node(r);
+    const bool go_high = n.low == kFalse;
+    chosen[n.var] = true;
+    value[n.var] = go_high;
+    r = go_high ? n.high : n.low;
+  }
+  assert(r == kTrue);
+  for (Var v : vars) {
+    literals.push_back(Literal{v, chosen[v] ? value[v] : false});
+  }
+  return cube(literals);
+}
+
+std::vector<CubeLiterals> Manager::all_sat(const Bdd& f,
+                                           const std::vector<Var>& vars,
+                                           std::size_t limit) const {
+  // Order the requested variables by level so the BDD walk visits them in
+  // order; variables outside f's support are expanded explicitly.
+  std::vector<Var> ordered = vars;
+  std::sort(ordered.begin(), ordered.end(), [this](Var a, Var b) {
+    return var2level_[a] < var2level_[b];
+  });
+  for (Var v : support(f)) {
+    if (std::find(ordered.begin(), ordered.end(), v) == ordered.end()) {
+      throw ModelError("all_sat: support of f exceeds the given variables");
+    }
+  }
+
+  std::vector<CubeLiterals> result;
+  CubeLiterals current;
+  std::function<void(NodeRef, std::size_t)> go = [&](NodeRef r, std::size_t i) {
+    if (r == kFalse) return;
+    if (i == ordered.size()) {
+      assert(r == kTrue);
+      if (result.size() >= limit) {
+        throw LimitError("all_sat: more than " + std::to_string(limit) +
+                         " assignments");
+      }
+      result.push_back(current);
+      return;
+    }
+    const Var v = ordered[i];
+    NodeRef low = r;
+    NodeRef high = r;
+    if (!is_term(r) && node(r).var == v) {
+      low = node(r).low;
+      high = node(r).high;
+    }
+    current.push_back(Literal{v, false});
+    go(low, i + 1);
+    current.back().positive = true;
+    go(high, i + 1);
+    current.pop_back();
+  };
+  go(f.ref(), 0);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Output
+// ---------------------------------------------------------------------------
+
+std::string Manager::to_dot(
+    const std::vector<std::pair<std::string, Bdd>>& roots) const {
+  std::ostringstream out;
+  out << "digraph bdd {\n  rankdir=TB;\n";
+  const std::uint32_t stamp = next_stamp();
+  std::vector<NodeRef> stack;
+  for (const auto& [name, f] : roots) {
+    out << "  \"" << name << "\" [shape=plaintext];\n";
+    out << "  \"" << name << "\" -> n" << f.ref() << ";\n";
+    stack.push_back(f.ref());
+  }
+  out << "  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n";
+  while (!stack.empty()) {
+    const NodeRef r = stack.back();
+    stack.pop_back();
+    if (is_term(r)) continue;
+    const Node& n = node(r);
+    if (n.stamp == stamp) continue;
+    n.stamp = stamp;
+    out << "  n" << r << " [label=\"" << var_names_[n.var] << "\"];\n";
+    out << "  n" << r << " -> n" << n.low << " [style=dashed];\n";
+    out << "  n" << r << " -> n" << n.high << ";\n";
+    stack.push_back(n.low);
+    stack.push_back(n.high);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string Manager::to_string(const Bdd& f, std::size_t max_cubes) {
+  if (f.is_false()) return "0";
+  if (f.is_true()) return "1";
+  Bdd cover_fn;
+  const std::vector<CubeLiterals> cover = isop(f, f, &cover_fn);
+  std::ostringstream out;
+  std::size_t shown = 0;
+  for (const CubeLiterals& c : cover) {
+    if (shown == max_cubes) {
+      out << " + ... (" << cover.size() - shown << " more)";
+      break;
+    }
+    if (shown > 0) out << " + ";
+    if (c.empty()) out << "1";
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i > 0) out << "&";
+      out << var_names_[c[i].var] << (c[i].positive ? "" : "'");
+    }
+    ++shown;
+  }
+  return out.str();
+}
+
+}  // namespace stgcheck::bdd

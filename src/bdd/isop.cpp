@@ -1,0 +1,68 @@
+// Minato-Morreale irredundant sum-of-products generation from a BDD
+// interval [on, upper]. Used by src/logic to print gate equations derived
+// from the excitation/quiescent regions of a CSC-satisfying state graph.
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+
+#include "util/error.hpp"
+
+namespace stgcheck::bdd {
+
+std::vector<CubeLiterals> Manager::isop(const Bdd& on, const Bdd& upper,
+                                        Bdd* function_out) {
+  if (!on.implies(upper)) {
+    throw ModelError("isop: the on-set must be contained in the upper bound");
+  }
+  std::vector<CubeLiterals> cover;
+  CubeLiterals prefix;
+  const NodeRef f = isop_rec(on.ref(), upper.ref(), prefix, cover);
+  Bdd result = make_handle(f);
+  if (function_out != nullptr) *function_out = result;
+  maybe_gc();
+  return cover;
+}
+
+NodeRef Manager::isop_rec(NodeRef on, NodeRef upper, CubeLiterals& prefix,
+                          std::vector<CubeLiterals>& cover) {
+  if (on == kFalse) return kFalse;
+  if (upper == kTrue) {
+    cover.push_back(prefix);  // the current prefix cube covers everything left
+    return kTrue;
+  }
+  assert(on != kTrue);  // on <= upper and upper != 1 imply on != 1
+
+  const std::size_t lon = level(on);
+  const std::size_t lup = level(upper);
+  const std::size_t top = std::min(lon, lup);
+  const Var v = level2var_[top];
+
+  const NodeRef on0 = lon == top ? node(on).low : on;
+  const NodeRef on1 = lon == top ? node(on).high : on;
+  const NodeRef up0 = lup == top ? node(upper).low : upper;
+  const NodeRef up1 = lup == top ? node(upper).high : upper;
+
+  // Cubes that must contain the literal v' : needed where the v=0 on-set
+  // cannot be covered by a cube valid on both sides (not inside up1).
+  const NodeRef need0 = and_rec(on0, not_rec(up1));
+  prefix.push_back(Literal{v, false});
+  const NodeRef f0 = isop_rec(need0, up0, prefix, cover);
+  prefix.pop_back();
+
+  // Cubes that must contain the literal v.
+  const NodeRef need1 = and_rec(on1, not_rec(up0));
+  prefix.push_back(Literal{v, true});
+  const NodeRef f1 = isop_rec(need1, up1, prefix, cover);
+  prefix.pop_back();
+
+  // Remaining on-set, coverable by cubes independent of v.
+  const NodeRef rest0 = and_rec(on0, not_rec(f0));
+  const NodeRef rest1 = and_rec(on1, not_rec(f1));
+  const NodeRef rest = or_rec(rest0, rest1);
+  const NodeRef updc = and_rec(up0, up1);
+  const NodeRef fd = isop_rec(rest, updc, prefix, cover);
+
+  return mk(v, or_rec(f0, fd), or_rec(f1, fd));
+}
+
+}  // namespace stgcheck::bdd

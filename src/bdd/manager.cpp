@@ -1,0 +1,408 @@
+// Manager core: node allocation, unique table, reference counting and
+// garbage collection. The operation recursions live in ops.cpp, analysis
+// helpers in analysis.cpp, reordering in sift.cpp and ISOP in isop.cpp.
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/error.hpp"
+
+namespace stgcheck::bdd {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(Manager* manager, NodeRef ref) : manager_(manager), ref_(ref) {
+  if (manager_ != nullptr) manager_->inc_ref(ref_);
+}
+
+Bdd::Bdd(const Bdd& other) : manager_(other.manager_), ref_(other.ref_) {
+  if (manager_ != nullptr) manager_->inc_ref(ref_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : manager_(other.manager_), ref_(other.ref_) {
+  other.manager_ = nullptr;
+  other.ref_ = kInvalidRef;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.manager_ != nullptr) other.manager_->inc_ref(other.ref_);
+  if (manager_ != nullptr) manager_->dec_ref(ref_);
+  manager_ = other.manager_;
+  ref_ = other.ref_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (manager_ != nullptr) manager_->dec_ref(ref_);
+  manager_ = other.manager_;
+  ref_ = other.ref_;
+  other.manager_ = nullptr;
+  other.ref_ = kInvalidRef;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (manager_ != nullptr) manager_->dec_ref(ref_);
+}
+
+Bdd Bdd::operator&(const Bdd& other) const {
+  return manager_->apply_and(*this, other);
+}
+Bdd Bdd::operator|(const Bdd& other) const {
+  return manager_->apply_or(*this, other);
+}
+Bdd Bdd::operator^(const Bdd& other) const {
+  return manager_->apply_xor(*this, other);
+}
+Bdd Bdd::operator!() const { return manager_->apply_not(*this); }
+
+Bdd& Bdd::operator&=(const Bdd& other) { return *this = *this & other; }
+Bdd& Bdd::operator|=(const Bdd& other) { return *this = *this | other; }
+Bdd& Bdd::operator^=(const Bdd& other) { return *this = *this ^ other; }
+
+Bdd Bdd::minus(const Bdd& other) const {
+  return manager_->apply_and(*this, manager_->apply_not(other));
+}
+
+bool Bdd::implies(const Bdd& other) const {
+  return minus(other).is_false();
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Manager::Manager(std::size_t initial_capacity) {
+  const std::size_t cap = std::max<std::size_t>(initial_capacity, 1024);
+  nodes_.reserve(cap);
+
+  // Terminals occupy handles 0 and 1 and are permanently referenced.
+  nodes_.push_back(Node{kInvalidVar, kFalse, kFalse, kInvalidRef, 1, 0});
+  nodes_.push_back(Node{kInvalidVar, kTrue, kTrue, kInvalidRef, 1, 0});
+
+  buckets_.assign(round_up_pow2(cap), kInvalidRef);
+  bucket_mask_ = buckets_.size() - 1;
+
+  cache_.assign(round_up_pow2(cap / 2), CacheEntry{});
+  cache_mask_ = cache_.size() - 1;
+}
+
+Manager::~Manager() = default;
+
+// ---------------------------------------------------------------------------
+// Variables
+// ---------------------------------------------------------------------------
+
+Bdd Manager::new_var(const std::string& name) {
+  const Var v = static_cast<Var>(var2level_.size());
+  var2level_.push_back(level2var_.size());
+  level2var_.push_back(v);
+  var_names_.push_back(name.empty() ? "x" + std::to_string(v) : name);
+  return var(v);
+}
+
+Bdd Manager::var(Var v) {
+  if (v >= var2level_.size()) throw ModelError("unknown BDD variable");
+  return make_handle(mk(v, kFalse, kTrue));
+}
+
+Bdd Manager::nvar(Var v) {
+  if (v >= var2level_.size()) throw ModelError("unknown BDD variable");
+  return make_handle(mk(v, kTrue, kFalse));
+}
+
+const std::string& Manager::var_name(Var v) const { return var_names_.at(v); }
+
+// ---------------------------------------------------------------------------
+// Cubes
+// ---------------------------------------------------------------------------
+
+Bdd Manager::cube(const CubeLiterals& literals) {
+  // Build bottom-up in level order so each mk call is O(1).
+  std::vector<Literal> sorted = literals;
+  std::sort(sorted.begin(), sorted.end(), [this](const Literal& a, const Literal& b) {
+    return var2level_[a.var] < var2level_[b.var];
+  });
+  // Detect contradictory duplicates; collapse consistent ones.
+  std::vector<Literal> unique_lits;
+  unique_lits.reserve(sorted.size());
+  for (const Literal& l : sorted) {
+    if (!unique_lits.empty() && unique_lits.back().var == l.var) {
+      if (unique_lits.back().positive != l.positive) return bdd_false();
+      continue;
+    }
+    unique_lits.push_back(l);
+  }
+  sorted = std::move(unique_lits);
+  NodeRef acc = kTrue;
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    acc = it->positive ? mk(it->var, kFalse, acc) : mk(it->var, acc, kFalse);
+  }
+  return make_handle(acc);
+}
+
+Bdd Manager::positive_cube(const std::vector<Var>& vars) {
+  CubeLiterals literals;
+  literals.reserve(vars.size());
+  for (Var v : vars) literals.push_back(Literal{v, true});
+  return cube(literals);
+}
+
+CubeLiterals Manager::cube_literals(const Bdd& c) const {
+  CubeLiterals literals;
+  NodeRef r = c.ref();
+  if (r == kFalse) throw ModelError("false is not a cube");
+  while (!is_term(r)) {
+    const Node& n = node(r);
+    if (n.low == kFalse && n.high != kFalse) {
+      literals.push_back(Literal{n.var, true});
+      r = n.high;
+    } else if (n.high == kFalse && n.low != kFalse) {
+      literals.push_back(Literal{n.var, false});
+      r = n.low;
+    } else {
+      throw ModelError("BDD is not a cube");
+    }
+  }
+  return literals;
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting
+// ---------------------------------------------------------------------------
+
+void Manager::inc_ref(NodeRef r) {
+  Node& n = node(r);
+  if (n.refs == 0 && r > kTrue) --dead_count_;
+  ++n.refs;
+  if (r > kTrue && n.refs == 1) {
+    const std::size_t live = node_count_ - dead_count_;
+    peak_live_ = std::max(peak_live_, live);
+  }
+}
+
+void Manager::dec_ref(NodeRef r) {
+  if (r <= kTrue) {
+    return;  // terminals are permanent
+  }
+  Node& n = node(r);
+  assert(n.refs > 0);
+  --n.refs;
+  if (n.refs == 0) ++dead_count_;
+}
+
+// ---------------------------------------------------------------------------
+// Unique table
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::hash_triple(Var v, NodeRef low, NodeRef high) const {
+  std::uint64_t h = static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+  h ^= (static_cast<std::uint64_t>(low) + 0x517cc1b727220a95ULL) * 0xff51afd7ed558ccdULL;
+  h ^= (static_cast<std::uint64_t>(high) + 0x2545f4914f6cdd1dULL) * 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h) & bucket_mask_;
+}
+
+NodeRef Manager::mk(Var v, NodeRef low, NodeRef high) {
+  if (low == high) return low;
+  assert(var2level_[v] < level(low) && var2level_[v] < level(high));
+
+  const std::size_t slot = hash_triple(v, low, high);
+  for (NodeRef r = buckets_[slot]; r != kInvalidRef; r = node(r).next) {
+    const Node& n = node(r);
+    if (n.var == v && n.low == low && n.high == high) {
+      ++unique_hits_;
+      return r;  // possibly a dead node being resurrected; refs handled by caller
+    }
+  }
+  return alloc_node(v, low, high);
+}
+
+NodeRef Manager::alloc_node(Var v, NodeRef low, NodeRef high) {
+  NodeRef r;
+  if (free_list_ != kInvalidRef) {
+    r = free_list_;
+    free_list_ = node(r).next;
+  } else {
+    r = static_cast<NodeRef>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  Node& n = node(r);
+  n.var = v;
+  n.low = low;
+  n.high = high;
+  n.refs = 0;
+  n.stamp = 0;
+  ++node_count_;
+  ++dead_count_;  // born dead; the caller or a parent node will reference it
+  inc_ref(low);
+  inc_ref(high);
+
+  if (sift_tracking_) nodes_at_var_[v].push_back(r);
+
+  unique_insert(r);
+  if (node_count_ > buckets_.size()) grow_buckets();
+  return r;
+}
+
+void Manager::unique_insert(NodeRef r) {
+  Node& n = node(r);
+  const std::size_t slot = hash_triple(n.var, n.low, n.high);
+  n.next = buckets_[slot];
+  buckets_[slot] = r;
+}
+
+void Manager::unique_remove(NodeRef r) {
+  Node& n = node(r);
+  const std::size_t slot = hash_triple(n.var, n.low, n.high);
+  NodeRef cur = buckets_[slot];
+  if (cur == r) {
+    buckets_[slot] = n.next;
+    return;
+  }
+  while (cur != kInvalidRef) {
+    Node& c = node(cur);
+    if (c.next == r) {
+      c.next = n.next;
+      return;
+    }
+    cur = c.next;
+  }
+  assert(false && "node missing from unique table");
+}
+
+void Manager::grow_buckets() {
+  buckets_.assign(buckets_.size() * 2, kInvalidRef);
+  bucket_mask_ = buckets_.size() - 1;
+  // Re-chain every node in the table (live and dead).
+  for (NodeRef r = 2; r < nodes_.size(); ++r) {
+    Node& n = node(r);
+    if (n.var == kInvalidVar) continue;  // free-listed
+    unique_insert(r);
+  }
+  // Keep the computed cache proportional to the table: a direct-mapped
+  // cache far smaller than the working set thrashes and turns the
+  // recursions superlinear.
+  if (cache_.size() < buckets_.size()) {
+    cache_.assign(buckets_.size(), CacheEntry{});
+    cache_mask_ = cache_.size() - 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache
+// ---------------------------------------------------------------------------
+
+NodeRef Manager::cache_lookup(Op op, NodeRef f, NodeRef g, NodeRef h) const {
+  ++cache_lookups_;
+  std::uint64_t k = static_cast<std::uint64_t>(f) * 0x9e3779b97f4a7c15ULL;
+  k ^= (static_cast<std::uint64_t>(g) + 0x7f4a7c15ULL) * 0xff51afd7ed558ccdULL;
+  k ^= (static_cast<std::uint64_t>(h) + 0x51afd7edULL) * 0xc4ceb9fe1a85ec53ULL;
+  k ^= static_cast<std::uint64_t>(op) << 56;
+  k ^= k >> 29;
+  const CacheEntry& e = cache_[static_cast<std::size_t>(k) & cache_mask_];
+  if (e.op == op && e.f == f && e.g == g && e.h == h && e.result != kInvalidRef) {
+    ++cache_hits_;
+    return e.result;
+  }
+  return kInvalidRef;
+}
+
+void Manager::cache_store(Op op, NodeRef f, NodeRef g, NodeRef h, NodeRef result) {
+  std::uint64_t k = static_cast<std::uint64_t>(f) * 0x9e3779b97f4a7c15ULL;
+  k ^= (static_cast<std::uint64_t>(g) + 0x7f4a7c15ULL) * 0xff51afd7ed558ccdULL;
+  k ^= (static_cast<std::uint64_t>(h) + 0x51afd7edULL) * 0xc4ceb9fe1a85ec53ULL;
+  k ^= static_cast<std::uint64_t>(op) << 56;
+  k ^= k >> 29;
+  cache_[static_cast<std::size_t>(k) & cache_mask_] =
+      CacheEntry{f, g, h, op, result};
+}
+
+void Manager::clear_cache() {
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+void Manager::maybe_gc() {
+  if (!gc_enabled_) return;
+  if (node_count_ < 4096) return;
+  if (dead_count_ * 4 < node_count_) return;  // < 25% dead: not worth it
+  collect_garbage();
+}
+
+void Manager::collect_garbage() {
+  if (dead_count_ == 0) return;
+  // Dead nodes still hold references to their children (dropped lazily,
+  // here). Removing a dead node can therefore kill its children; iterate
+  // until the dead set is stable.
+  std::vector<NodeRef> worklist;
+  for (NodeRef r = 2; r < nodes_.size(); ++r) {
+    Node& n = node(r);
+    if (n.var != kInvalidVar && n.refs == 0) worklist.push_back(r);
+  }
+  while (!worklist.empty()) {
+    const NodeRef r = worklist.back();
+    worklist.pop_back();
+    Node& n = node(r);
+    if (n.var == kInvalidVar || n.refs != 0) continue;  // already freed / resurrected
+    unique_remove(r);
+    const NodeRef low = n.low;
+    const NodeRef high = n.high;
+    n.var = kInvalidVar;
+    n.next = free_list_;
+    free_list_ = r;
+    --node_count_;
+    --dead_count_;
+    for (NodeRef child : {low, high}) {
+      if (child > kTrue) {
+        Node& c = node(child);
+        assert(c.refs > 0);
+        --c.refs;
+        if (c.refs == 0) {
+          ++dead_count_;
+          worklist.push_back(child);
+        }
+      }
+    }
+  }
+  clear_cache();
+  ++gc_runs_;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+ManagerStats Manager::stats() const {
+  ManagerStats s;
+  s.node_count = node_count_;
+  s.dead_count = dead_count_;
+  s.live_count = node_count_ - dead_count_;
+  s.peak_live = peak_live_;
+  s.gc_runs = gc_runs_;
+  s.unique_hits = unique_hits_;
+  s.cache_hits = cache_hits_;
+  s.cache_lookups = cache_lookups_;
+  s.var_count = var2level_.size();
+  return s;
+}
+
+}  // namespace stgcheck::bdd

@@ -1,0 +1,449 @@
+// Recursive cores of the Boolean operations. Garbage collection never runs
+// while a recursion is on the stack: handle-level wrappers compute the raw
+// result, protect it with an external reference, and only then call
+// maybe_gc().
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/error.hpp"
+
+namespace stgcheck::bdd {
+
+// ---------------------------------------------------------------------------
+// Handle-level wrappers
+// ---------------------------------------------------------------------------
+
+Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
+  Bdd result = make_handle(and_rec(f.ref(), g.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
+  Bdd result = make_handle(or_rec(f.ref(), g.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) {
+  Bdd result = make_handle(xor_rec(f.ref(), g.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::apply_not(const Bdd& f) {
+  Bdd result = make_handle(not_rec(f.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  Bdd result = make_handle(ite_rec(f.ref(), g.ref(), h.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::cofactor(const Bdd& f, const Bdd& cube) {
+  Bdd result = make_handle(cofactor_rec(f.ref(), cube.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
+  Bdd result = make_handle(exists_rec(f.ref(), cube.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
+  Bdd result = make_handle(forall_rec(f.ref(), cube.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  Bdd result = make_handle(and_exists_rec(f.ref(), g.ref(), cube.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::restrict(const Bdd& f, const Bdd& care) {
+  Bdd result = make_handle(restrict_rec(f.ref(), care.ref()));
+  maybe_gc();
+  return result;
+}
+
+Bdd Manager::permute(const Bdd& f, const std::vector<Var>& perm) {
+  // Validate: total map over f's support, monotone in levels.
+  const std::vector<Var> sup = support(f);
+  for (std::size_t i = 0; i < sup.size(); ++i) {
+    if (sup[i] >= perm.size() || perm[sup[i]] >= var2level_.size()) {
+      throw ModelError("permute: permutation does not cover the support");
+    }
+    if (i > 0 &&
+        var2level_[perm[sup[i - 1]]] >= var2level_[perm[sup[i]]]) {
+      throw ModelError("permute: permutation is not monotone in the order");
+    }
+  }
+  std::unordered_map<NodeRef, NodeRef> memo;
+  Bdd result = make_handle(permute_rec(f.ref(), perm, memo));
+  maybe_gc();
+  return result;
+}
+
+NodeRef Manager::permute_rec(NodeRef f, const std::vector<Var>& perm,
+                             std::unordered_map<NodeRef, NodeRef>& memo) {
+  if (is_term(f)) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  const Var v = node(f).var;
+  const NodeRef flow = node(f).low;
+  const NodeRef fhigh = node(f).high;
+  const NodeRef low = permute_rec(flow, perm, memo);
+  const NodeRef r = mk(perm[v], low, permute_rec(fhigh, perm, memo));
+  memo.emplace(f, r);
+  return r;
+}
+
+bool Bdd::disjoint_with(const Bdd& other) const {
+  std::unordered_map<std::uint64_t, bool> memo;
+  return manager_->disjoint_rec(ref_, other.ref_, memo);
+}
+
+// ---------------------------------------------------------------------------
+// AND / OR / XOR / NOT
+// ---------------------------------------------------------------------------
+
+NodeRef Manager::and_rec(NodeRef f, NodeRef g) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue) return g;
+  if (g == kTrue) return f;
+  if (f == g) return f;
+  if (f > g) std::swap(f, g);  // commutative: canonicalize for the cache
+
+  NodeRef cached = cache_lookup(Op::kAnd, f, g, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  const std::size_t lf = level(f);
+  const std::size_t lg = level(g);
+  const std::size_t top = std::min(lf, lg);
+  const Var v = level2var_[top];
+  const NodeRef f0 = lf == top ? node(f).low : f;
+  const NodeRef f1 = lf == top ? node(f).high : f;
+  const NodeRef g0 = lg == top ? node(g).low : g;
+  const NodeRef g1 = lg == top ? node(g).high : g;
+
+  const NodeRef r = mk(v, and_rec(f0, g0), and_rec(f1, g1));
+  cache_store(Op::kAnd, f, g, kFalse, r);
+  return r;
+}
+
+NodeRef Manager::or_rec(NodeRef f, NodeRef g) {
+  if (f == kTrue || g == kTrue) return kTrue;
+  if (f == kFalse) return g;
+  if (g == kFalse) return f;
+  if (f == g) return f;
+  if (f > g) std::swap(f, g);
+
+  NodeRef cached = cache_lookup(Op::kOr, f, g, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  const std::size_t lf = level(f);
+  const std::size_t lg = level(g);
+  const std::size_t top = std::min(lf, lg);
+  const Var v = level2var_[top];
+  const NodeRef f0 = lf == top ? node(f).low : f;
+  const NodeRef f1 = lf == top ? node(f).high : f;
+  const NodeRef g0 = lg == top ? node(g).low : g;
+  const NodeRef g1 = lg == top ? node(g).high : g;
+
+  const NodeRef r = mk(v, or_rec(f0, g0), or_rec(f1, g1));
+  cache_store(Op::kOr, f, g, kFalse, r);
+  return r;
+}
+
+NodeRef Manager::xor_rec(NodeRef f, NodeRef g) {
+  if (f == kFalse) return g;
+  if (g == kFalse) return f;
+  if (f == g) return kFalse;
+  if (f == kTrue) return not_rec(g);
+  if (g == kTrue) return not_rec(f);
+  if (f > g) std::swap(f, g);
+
+  NodeRef cached = cache_lookup(Op::kXor, f, g, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  const std::size_t lf = level(f);
+  const std::size_t lg = level(g);
+  const std::size_t top = std::min(lf, lg);
+  const Var v = level2var_[top];
+  const NodeRef f0 = lf == top ? node(f).low : f;
+  const NodeRef f1 = lf == top ? node(f).high : f;
+  const NodeRef g0 = lg == top ? node(g).low : g;
+  const NodeRef g1 = lg == top ? node(g).high : g;
+
+  const NodeRef r = mk(v, xor_rec(f0, g0), xor_rec(f1, g1));
+  cache_store(Op::kXor, f, g, kFalse, r);
+  return r;
+}
+
+NodeRef Manager::not_rec(NodeRef f) {
+  if (f == kFalse) return kTrue;
+  if (f == kTrue) return kFalse;
+
+  NodeRef cached = cache_lookup(Op::kNot, f, kFalse, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  // Copy fields before recursing: mk may reallocate the node vector.
+  const Var v = node(f).var;
+  const NodeRef low = node(f).low;
+  const NodeRef high = node(f).high;
+  const NodeRef r = mk(v, not_rec(low), not_rec(high));
+  cache_store(Op::kNot, f, kFalse, kFalse, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ITE
+// ---------------------------------------------------------------------------
+
+NodeRef Manager::ite_rec(NodeRef f, NodeRef g, NodeRef h) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse && h == kTrue) return not_rec(f);
+  if (f == g) g = kTrue;   // f ? f : h  ==  f ? 1 : h
+  if (f == h) h = kFalse;  // f ? g : f  ==  f ? g : 0
+  if (g == kTrue && h == kFalse) return f;
+  if (g == kFalse) return and_rec(not_rec(f), h);
+  if (h == kFalse) return and_rec(f, g);
+  if (g == kTrue) return or_rec(f, h);
+  if (h == kTrue) return or_rec(not_rec(f), g);
+
+  NodeRef cached = cache_lookup(Op::kIte, f, g, h);
+  if (cached != kInvalidRef) return cached;
+
+  const std::size_t top =
+      std::min({level(f), level(g), level(h)});
+  const Var v = level2var_[top];
+  const auto cof = [&](NodeRef x, bool hi) {
+    if (level(x) != top) return x;
+    return hi ? node(x).high : node(x).low;
+  };
+  const NodeRef r = mk(v, ite_rec(cof(f, false), cof(g, false), cof(h, false)),
+                       ite_rec(cof(f, true), cof(g, true), cof(h, true)));
+  cache_store(Op::kIte, f, g, h, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Cofactor with respect to a cube (positive and negative literals)
+// ---------------------------------------------------------------------------
+
+NodeRef Manager::cofactor_rec(NodeRef f, NodeRef cube) {
+  if (is_term(f)) return f;
+  // Skip cube literals whose level is above f's top (they do not constrain f).
+  while (!is_term(cube) && level(cube) < level(f)) {
+    const Node& c = node(cube);
+    cube = c.low == kFalse ? c.high : c.low;
+  }
+  if (is_term(cube)) return f;
+
+  NodeRef cached = cache_lookup(Op::kCofactor, f, cube, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  // Copy fields before recursing: mk may reallocate the node vector.
+  const Var v = node(f).var;
+  const NodeRef flow = node(f).low;
+  const NodeRef fhigh = node(f).high;
+  const NodeRef clow = node(cube).low;
+  const NodeRef chigh = node(cube).high;
+  NodeRef r;
+  if (level(f) == level(cube)) {
+    // Follow the polarity dictated by the cube.
+    r = clow == kFalse ? cofactor_rec(fhigh, chigh)   // positive literal
+                       : cofactor_rec(flow, clow);    // negative literal
+  } else {
+    const NodeRef low = cofactor_rec(flow, cube);
+    r = mk(v, low, cofactor_rec(fhigh, cube));
+  }
+  cache_store(Op::kCofactor, f, cube, kFalse, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Quantification
+// ---------------------------------------------------------------------------
+
+NodeRef Manager::exists_rec(NodeRef f, NodeRef cube) {
+  if (is_term(f)) return f;
+  while (!is_term(cube) && level(cube) < level(f)) cube = node(cube).high;
+  if (is_term(cube)) return f;
+
+  NodeRef cached = cache_lookup(Op::kExists, f, cube, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  // Copy fields before recursing: mk may reallocate the node vector.
+  const Var v = node(f).var;
+  const NodeRef flow = node(f).low;
+  const NodeRef fhigh = node(f).high;
+  NodeRef r;
+  if (level(f) == level(cube)) {
+    const NodeRef rest = node(cube).high;
+    const NodeRef low = exists_rec(flow, rest);
+    if (low == kTrue) {
+      r = kTrue;  // early termination: the disjunction is already everything
+    } else {
+      r = or_rec(low, exists_rec(fhigh, rest));
+    }
+  } else {
+    const NodeRef low = exists_rec(flow, cube);
+    r = mk(v, low, exists_rec(fhigh, cube));
+  }
+  cache_store(Op::kExists, f, cube, kFalse, r);
+  return r;
+}
+
+NodeRef Manager::forall_rec(NodeRef f, NodeRef cube) {
+  if (is_term(f)) return f;
+  while (!is_term(cube) && level(cube) < level(f)) cube = node(cube).high;
+  if (is_term(cube)) return f;
+
+  NodeRef cached = cache_lookup(Op::kForall, f, cube, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  // Copy fields before recursing: mk may reallocate the node vector.
+  const Var v = node(f).var;
+  const NodeRef flow = node(f).low;
+  const NodeRef fhigh = node(f).high;
+  NodeRef r;
+  if (level(f) == level(cube)) {
+    const NodeRef rest = node(cube).high;
+    const NodeRef low = forall_rec(flow, rest);
+    if (low == kFalse) {
+      r = kFalse;
+    } else {
+      r = and_rec(low, forall_rec(fhigh, rest));
+    }
+  } else {
+    const NodeRef low = forall_rec(flow, cube);
+    r = mk(v, low, forall_rec(fhigh, cube));
+  }
+  cache_store(Op::kForall, f, cube, kFalse, r);
+  return r;
+}
+
+NodeRef Manager::and_exists_rec(NodeRef f, NodeRef g, NodeRef cube) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue && g == kTrue) return kTrue;
+  if (f == kTrue) return exists_rec(g, cube);
+  if (g == kTrue) return exists_rec(f, cube);
+  if (f == g) return exists_rec(f, cube);
+  if (f > g) std::swap(f, g);
+
+  const std::size_t top = std::min(level(f), level(g));
+  while (!is_term(cube) && level(cube) < top) cube = node(cube).high;
+  if (is_term(cube)) return and_rec(f, g);
+
+  NodeRef cached = cache_lookup(Op::kAndExists, f, g, cube);
+  if (cached != kInvalidRef) return cached;
+
+  const std::size_t lf = level(f);
+  const std::size_t lg = level(g);
+  const Var v = level2var_[top];
+  const NodeRef f0 = lf == top ? node(f).low : f;
+  const NodeRef f1 = lf == top ? node(f).high : f;
+  const NodeRef g0 = lg == top ? node(g).low : g;
+  const NodeRef g1 = lg == top ? node(g).high : g;
+
+  NodeRef r;
+  if (level(cube) == top) {
+    const NodeRef rest = node(cube).high;
+    const NodeRef low = and_exists_rec(f0, g0, rest);
+    if (low == kTrue) {
+      r = kTrue;
+    } else {
+      r = or_rec(low, and_exists_rec(f1, g1, rest));
+    }
+  } else {
+    r = mk(v, and_exists_rec(f0, g0, cube), and_exists_rec(f1, g1, cube));
+  }
+  cache_store(Op::kAndExists, f, g, cube, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Coudert-Madre restrict
+// ---------------------------------------------------------------------------
+
+NodeRef Manager::restrict_rec(NodeRef f, NodeRef care) {
+  if (care == kTrue || is_term(f)) return f;
+  if (care == kFalse) return f;  // degenerate care set: leave f unchanged
+
+  NodeRef cached = cache_lookup(Op::kRestrict, f, care, kFalse);
+  if (cached != kInvalidRef) return cached;
+
+  const std::size_t lf = level(f);
+  const std::size_t lc = level(care);
+  NodeRef r;
+  if (lc < lf) {
+    // The care set constrains a variable f does not test: smooth it out.
+    const Node& c = node(care);
+    if (c.low == kFalse) {
+      r = restrict_rec(f, c.high);
+    } else if (c.high == kFalse) {
+      r = restrict_rec(f, c.low);
+    } else {
+      r = restrict_rec(f, or_rec(c.low, c.high));
+    }
+  } else {
+    const Var v = node(f).var;
+    const NodeRef flow = node(f).low;
+    const NodeRef fhigh = node(f).high;
+    const NodeRef c0 = lc == lf ? node(care).low : care;
+    const NodeRef c1 = lc == lf ? node(care).high : care;
+    if (c0 == kFalse) {
+      r = restrict_rec(fhigh, c1);
+    } else if (c1 == kFalse) {
+      r = restrict_rec(flow, c0);
+    } else {
+      const NodeRef low = restrict_rec(flow, c0);
+      r = mk(v, low, restrict_rec(fhigh, c1));
+    }
+  }
+  cache_store(Op::kRestrict, f, care, kFalse, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Disjointness (no new nodes are created; memoized locally)
+// ---------------------------------------------------------------------------
+
+bool Manager::disjoint_rec(NodeRef f, NodeRef g,
+                           std::unordered_map<std::uint64_t, bool>& memo) const {
+  if (f == kFalse || g == kFalse) return true;
+  if (f == kTrue || g == kTrue) return false;  // both non-false
+  if (f == g) return false;
+  if (f > g) std::swap(f, g);
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(f) << 32) | g;
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+
+  const std::size_t lf = level(f);
+  const std::size_t lg = level(g);
+  const std::size_t top = std::min(lf, lg);
+  const NodeRef f0 = lf == top ? node(f).low : f;
+  const NodeRef f1 = lf == top ? node(f).high : f;
+  const NodeRef g0 = lg == top ? node(g).low : g;
+  const NodeRef g1 = lg == top ? node(g).high : g;
+
+  const bool result = disjoint_rec(f0, g0, memo) && disjoint_rec(f1, g1, memo);
+  memo.emplace(key, result);
+  return result;
+}
+
+}  // namespace stgcheck::bdd

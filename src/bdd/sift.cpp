@@ -1,0 +1,166 @@
+// Rudell sifting. Each variable is moved through the order by repeated
+// adjacent-level swaps and settled at the level where the live node count
+// is minimal.
+//
+// A swap of levels (l, l+1) with upper variable x and lower variable y
+// rewrites, in place, every x-node that has a y-child:
+//
+//     (x, f, g)  ==>  (y, mk(x, f0, g0), mk(x, f1, g1))
+//
+// where f0/f1 (g0/g1) are the y-cofactors of f (g). In-place rewriting
+// preserves node identity, so parents and external handles stay valid.
+// x-nodes without y-children and y-nodes referenced from above levels are
+// untouched. Reference counts (parents + external handles) are exact in
+// this package, so the live node count used to score positions is exact.
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stgcheck::bdd {
+
+namespace {
+
+/// Returns the children of `ref` split against variable `v`:
+/// (low, high) if ref is a v-node, (ref, ref) otherwise.
+struct Split {
+  NodeRef low;
+  NodeRef high;
+};
+
+}  // namespace
+
+std::size_t Manager::sift(double max_growth) {
+  if (var2level_.size() < 2) return live_nodes();
+
+  collect_garbage();  // exact live counts; flushes all dead nodes
+  clear_cache();      // node rewrites invalidate every cached result
+  gc_enabled_ = false;
+  sift_tracking_ = true;
+  gather_var_nodes();
+
+  // Sift in decreasing order of node population: big layers first.
+  std::vector<Var> by_size(var2level_.size());
+  for (Var v = 0; v < by_size.size(); ++v) by_size[v] = v;
+  std::sort(by_size.begin(), by_size.end(), [this](Var a, Var b) {
+    return nodes_at_var_[a].size() > nodes_at_var_[b].size();
+  });
+
+  for (Var v : by_size) sift_one_var(v, max_growth);
+
+  sift_tracking_ = false;
+  nodes_at_var_.clear();
+  gc_enabled_ = true;
+  collect_garbage();
+  return live_nodes();
+}
+
+void Manager::gather_var_nodes() {
+  nodes_at_var_.assign(var2level_.size(), {});
+  for (NodeRef r = 2; r < nodes_.size(); ++r) {
+    const Node& n = node(r);
+    if (n.var != kInvalidVar) nodes_at_var_[n.var].push_back(r);
+  }
+}
+
+std::size_t Manager::sift_one_var(Var v, double max_growth) {
+  const std::size_t levels = level2var_.size();
+  std::size_t best_size = live_nodes();
+  std::size_t best_level = var2level_[v];
+
+  const auto sweep = [&](bool upward) {
+    while (upward ? var2level_[v] > 0 : var2level_[v] + 1 < levels) {
+      swap_levels(upward ? var2level_[v] - 1 : var2level_[v]);
+      const std::size_t size = live_nodes();
+      if (size < best_size) {
+        best_size = size;
+        best_level = var2level_[v];
+      } else if (static_cast<double>(size) >
+                 max_growth * static_cast<double>(best_size)) {
+        break;  // growing too much in this direction
+      }
+    }
+  };
+
+  // Visit the nearer end of the order first: fewer swaps to undo.
+  const bool up_first = var2level_[v] < levels - 1 - var2level_[v];
+  sweep(up_first);
+  sweep(!up_first);
+  move_var_to_level(v, best_level);
+  return best_size;
+}
+
+std::size_t Manager::move_var_to_level(Var v, std::size_t target_level) {
+  while (var2level_[v] > target_level) swap_levels(var2level_[v] - 1);
+  while (var2level_[v] < target_level) swap_levels(var2level_[v]);
+  return live_nodes();
+}
+
+std::size_t Manager::swap_levels(std::size_t upper_level) {
+  assert(upper_level + 1 < level2var_.size());
+  const Var x = level2var_[upper_level];
+  const Var y = level2var_[upper_level + 1];
+
+  // Swap the order first so mk() sees the new levels.
+  level2var_[upper_level] = y;
+  level2var_[upper_level + 1] = x;
+  var2level_[x] = upper_level + 1;
+  var2level_[y] = upper_level;
+
+  std::vector<NodeRef> xs = std::move(nodes_at_var_[x]);
+  nodes_at_var_[x].clear();
+
+  for (const NodeRef r : xs) {
+    if (node(r).var != x) continue;  // stale: freed or already moved to y
+
+    if (node(r).refs == 0) {
+      // Reclaim dead x-nodes instead of rewriting them.
+      unique_remove(r);
+      Node& n = node(r);
+      const NodeRef low = n.low;
+      const NodeRef high = n.high;
+      n.var = kInvalidVar;
+      n.next = free_list_;
+      free_list_ = r;
+      --node_count_;
+      --dead_count_;
+      dec_ref(low);
+      dec_ref(high);
+      continue;
+    }
+
+    const NodeRef f = node(r).low;
+    const NodeRef g = node(r).high;
+    const bool f_is_y = !is_term(f) && node(f).var == y;
+    const bool g_is_y = !is_term(g) && node(g).var == y;
+    if (!f_is_y && !g_is_y) {
+      nodes_at_var_[x].push_back(r);  // keeps var x at the new lower level
+      continue;
+    }
+
+    const Split fs = f_is_y ? Split{node(f).low, node(f).high} : Split{f, f};
+    const Split gs = g_is_y ? Split{node(g).low, node(g).high} : Split{g, g};
+
+    unique_remove(r);
+    // Keep r invisible to grow_buckets() while it is out of the table; mk
+    // below may grow the node vector and rehash every table node.
+    node(r).var = kInvalidVar;
+    const NodeRef n0 = mk(x, fs.low, gs.low);
+    const NodeRef n1 = mk(x, fs.high, gs.high);
+    assert(n0 != n1 && "swap produced a redundant node");
+    // Note: mk may have reallocated the node vector; re-acquire.
+    Node& n = node(r);
+    n.var = y;
+    n.low = n0;
+    n.high = n1;
+    inc_ref(n0);
+    inc_ref(n1);
+    dec_ref(f);
+    dec_ref(g);
+    unique_insert(r);
+    nodes_at_var_[y].push_back(r);
+  }
+  return live_nodes();
+}
+
+}  // namespace stgcheck::bdd

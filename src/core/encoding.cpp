@@ -1,0 +1,357 @@
+#include "core/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace stgcheck::core {
+
+using bdd::Bdd;
+using bdd::Var;
+
+SymbolicStg::SymbolicStg(const stg::Stg& stg, Ordering ordering,
+                         std::size_t initial_nodes, bool with_primed_vars)
+    : stg_(std::make_shared<const stg::Stg>(stg)),
+      manager_(std::make_unique<bdd::Manager>(initial_nodes)),
+      with_primed_(with_primed_vars) {
+  const pn::PetriNet& net = stg_->net();
+  if (net.place_count() == 0) throw ModelError("cannot encode an empty net");
+  place_vars_.assign(net.place_count(), bdd::kInvalidVar);
+  signal_vars_.assign(stg_->signal_count(), bdd::kInvalidVar);
+  primed_place_vars_.assign(net.place_count(), bdd::kInvalidVar);
+  primed_signal_vars_.assign(stg_->signal_count(), bdd::kInvalidVar);
+  order_variables(ordering);
+  build_cubes();
+}
+
+bdd::Var SymbolicStg::primed_place_var(pn::PlaceId p) const {
+  if (!with_primed_) throw ModelError("encoding built without primed variables");
+  return primed_place_vars_[p];
+}
+
+bdd::Var SymbolicStg::primed_signal_var(stg::SignalId s) const {
+  if (!with_primed_) throw ModelError("encoding built without primed variables");
+  return primed_signal_vars_[s];
+}
+
+// ---------------------------------------------------------------------------
+// Variable ordering
+// ---------------------------------------------------------------------------
+
+void SymbolicStg::order_variables(Ordering ordering) {
+  const pn::PetriNet& net = stg_->net();
+
+  const auto declare_place = [&](pn::PlaceId p) {
+    if (place_vars_[p] == bdd::kInvalidVar) {
+      manager_->new_var(net.place_name(p));
+      place_vars_[p] = static_cast<Var>(manager_->var_count() - 1);
+      if (with_primed_) {
+        // The primed twin sits directly below, so p <-> p' constraints in
+        // transition relations cost one node each.
+        manager_->new_var(net.place_name(p) + "'");
+        primed_place_vars_[p] = static_cast<Var>(manager_->var_count() - 1);
+      }
+    }
+  };
+  const auto declare_signal = [&](stg::SignalId s) {
+    if (s != stg::kNoSignal && signal_vars_[s] == bdd::kInvalidVar) {
+      manager_->new_var(stg_->signal_name(s));
+      signal_vars_[s] = static_cast<Var>(manager_->var_count() - 1);
+      if (with_primed_) {
+        manager_->new_var(stg_->signal_name(s) + "'");
+        primed_signal_vars_[s] = static_cast<Var>(manager_->var_count() - 1);
+      }
+    }
+  };
+
+  switch (ordering) {
+    case Ordering::kDeclaration: {
+      for (pn::PlaceId p = 0; p < net.place_count(); ++p) declare_place(p);
+      for (stg::SignalId s = 0; s < stg_->signal_count(); ++s) declare_signal(s);
+      break;
+    }
+    case Ordering::kSignalsFirst: {
+      for (stg::SignalId s = 0; s < stg_->signal_count(); ++s) declare_signal(s);
+      for (pn::PlaceId p = 0; p < net.place_count(); ++p) declare_place(p);
+      break;
+    }
+    case Ordering::kRandom: {
+      // Deterministic shuffle of the declaration order.
+      std::vector<std::pair<bool, std::uint32_t>> items;  // (is_signal, id)
+      for (pn::PlaceId p = 0; p < net.place_count(); ++p) items.push_back({false, p});
+      for (stg::SignalId s = 0; s < stg_->signal_count(); ++s) items.push_back({true, s});
+      Rng rng(0xABCDEF12345ull);
+      for (std::size_t i = items.size(); i > 1; --i) {
+        std::swap(items[i - 1], items[rng.below(i)]);
+      }
+      for (const auto& [is_signal, id] : items) {
+        if (is_signal) {
+          declare_signal(id);
+        } else {
+          declare_place(id);
+        }
+      }
+      break;
+    }
+    case Ordering::kInterleaved:
+    case Ordering::kClustered: {
+      // Breadth-first traversal over the flow relation, starting from the
+      // initially enabled transitions. Visiting a transition declares its
+      // preset places, then its signal, then its postset places. BFS
+      // follows the token wave, so all variables that interact (the
+      // places around one transition and its signal, and neighbouring
+      // pipeline stages) end up adjacent in the order -- the locality
+      // heuristic the paper relies on for compact BDDs. A depth-first
+      // variant dives down one branch and declares the sibling branch's
+      // places during backtracking, far from their cluster, which
+      // measurably blows the Reached BDD up on pipelines.
+      std::vector<bool> enqueued(net.transition_count(), false);
+      std::deque<pn::TransitionId> queue;
+      const pn::Marking& m0 = net.initial_marking();
+      for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+        if (net.enabled(m0, t)) {
+          queue.push_back(t);
+          enqueued[t] = true;
+        }
+      }
+      std::size_t scan = 0;  // fallback roots for disconnected components
+      while (!queue.empty() || scan < net.transition_count()) {
+        if (queue.empty()) {
+          const pn::TransitionId t = static_cast<pn::TransitionId>(scan++);
+          if (enqueued[t]) continue;
+          enqueued[t] = true;
+          queue.push_back(t);
+        }
+        const pn::TransitionId t = queue.front();
+        queue.pop_front();
+        for (pn::PlaceId p : net.preset(t)) declare_place(p);
+        declare_signal(stg_->label(t).signal);
+        // kClustered: a wide fork (e.g. the go+ of a fork-join star) does
+        // not emit its fan-out as one block; each output place is declared
+        // by its consuming branch instead, keeping branch clusters intact.
+        const bool declare_postsets =
+            ordering == Ordering::kInterleaved || net.postset(t).size() <= 2;
+        if (declare_postsets) {
+          for (pn::PlaceId p : net.postset(t)) declare_place(p);
+        }
+        for (pn::PlaceId p : net.postset(t)) {
+          for (pn::TransitionId succ : net.postset_of_place(p)) {
+            if (!enqueued[succ]) {
+              enqueued[succ] = true;
+              queue.push_back(succ);
+            }
+          }
+        }
+      }
+      // Anything not connected to a transition at all.
+      for (pn::PlaceId p = 0; p < net.place_count(); ++p) declare_place(p);
+      for (stg::SignalId s = 0; s < stg_->signal_count(); ++s) declare_signal(s);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cubes
+// ---------------------------------------------------------------------------
+
+void SymbolicStg::build_cubes() {
+  const pn::PetriNet& net = stg_->net();
+  e_.reserve(net.transition_count());
+  npm_.reserve(net.transition_count());
+  nsm_.reserve(net.transition_count());
+  asm_.reserve(net.transition_count());
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    bdd::CubeLiterals enabled;
+    bdd::CubeLiterals none_pre;
+    bdd::CubeLiterals none_post;
+    bdd::CubeLiterals all_post;
+    for (pn::PlaceId p : net.preset(t)) {
+      enabled.push_back({place_vars_[p], true});
+      none_pre.push_back({place_vars_[p], false});
+    }
+    for (pn::PlaceId p : net.postset(t)) {
+      none_post.push_back({place_vars_[p], false});
+      all_post.push_back({place_vars_[p], true});
+    }
+    e_.push_back(manager_->cube(enabled));
+    npm_.push_back(manager_->cube(none_pre));
+    nsm_.push_back(manager_->cube(none_post));
+    asm_.push_back(manager_->cube(all_post));
+  }
+  place_cube_ = manager_->positive_cube(place_var_list());
+  signal_cube_ = manager_->positive_cube(signal_var_list());
+
+  std::vector<Var> state_vars = place_var_list();
+  const std::vector<Var> signals = signal_var_list();
+  state_vars.insert(state_vars.end(), signals.begin(), signals.end());
+  state_cube_ = manager_->positive_cube(state_vars);
+
+  if (with_primed_) {
+    std::vector<Var> primed;
+    to_primed_.resize(manager_->var_count());
+    from_primed_.resize(manager_->var_count());
+    for (Var v = 0; v < to_primed_.size(); ++v) {
+      to_primed_[v] = v;
+      from_primed_[v] = v;
+    }
+    for (pn::PlaceId p = 0; p < stg_->net().place_count(); ++p) {
+      primed.push_back(primed_place_vars_[p]);
+      to_primed_[place_vars_[p]] = primed_place_vars_[p];
+      from_primed_[primed_place_vars_[p]] = place_vars_[p];
+    }
+    for (stg::SignalId s = 0; s < stg_->signal_count(); ++s) {
+      primed.push_back(primed_signal_vars_[s]);
+      to_primed_[signal_vars_[s]] = primed_signal_vars_[s];
+      from_primed_[primed_signal_vars_[s]] = signal_vars_[s];
+    }
+    primed_cube_ = manager_->positive_cube(primed);
+  } else {
+    primed_cube_ = manager_->bdd_true();
+  }
+}
+
+std::vector<Var> SymbolicStg::place_var_list() const {
+  return {place_vars_.begin(), place_vars_.end()};
+}
+
+std::vector<Var> SymbolicStg::signal_var_list() const {
+  return {signal_vars_.begin(), signal_vars_.end()};
+}
+
+Bdd SymbolicStg::place(pn::PlaceId p) const { return manager_->var(place_vars_[p]); }
+
+Bdd SymbolicStg::signal(stg::SignalId s) const {
+  return manager_->var(signal_vars_[s]);
+}
+
+Bdd SymbolicStg::enabled_signal(stg::SignalId s, stg::Dir dir) const {
+  Bdd result = manager_->bdd_false();
+  for (pn::TransitionId t : stg_->transitions_of(s, dir)) result |= e_[t];
+  return result;
+}
+
+Bdd SymbolicStg::enabled_signal_any(stg::SignalId s) const {
+  Bdd result = manager_->bdd_false();
+  for (pn::TransitionId t : stg_->transitions_of_signal(s)) result |= e_[t];
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// States
+// ---------------------------------------------------------------------------
+
+Bdd SymbolicStg::marking_cube(const pn::Marking& m) const {
+  const pn::PetriNet& net = stg_->net();
+  bdd::CubeLiterals literals;
+  literals.reserve(net.place_count());
+  for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
+    if (m.tokens(p) > 1) {
+      throw ModelError("symbolic encoding requires a safe marking (place " +
+                       net.place_name(p) + " holds " +
+                       std::to_string(static_cast<int>(m.tokens(p))) + " tokens)");
+    }
+    literals.push_back({place_vars_[p], m.tokens(p) == 1});
+  }
+  return manager_->cube(literals);
+}
+
+Bdd SymbolicStg::initial_state() const {
+  Bdd state = marking_cube(stg_->net().initial_marking());
+  bdd::CubeLiterals literals;
+  for (stg::SignalId s = 0; s < stg_->signal_count(); ++s) {
+    const std::optional<bool> v = stg_->initial_value(s);
+    if (v.has_value()) literals.push_back({signal_vars_[s], *v});
+  }
+  return state & manager_->cube(literals);
+}
+
+// ---------------------------------------------------------------------------
+// Image and preimage
+// ---------------------------------------------------------------------------
+
+Bdd SymbolicStg::image(const Bdd& states, pn::TransitionId t,
+                       Bdd* unsafe_out) const {
+  // The paper's pipeline: select the enabled part and drop the preset
+  // variables (cofactor by E(t)), set the preset to empty, check/cofactor
+  // the postset empty, then set the postset full.
+  if (unsafe_out != nullptr) {
+    // States where firing t would deposit a second token: t is enabled and
+    // some successor place outside the preset is already marked.
+    const pn::PetriNet& net = stg_->net();
+    const std::vector<pn::PlaceId>& pre = net.preset(t);
+    Bdd marked_successor = manager_->bdd_false();
+    for (pn::PlaceId p : net.postset(t)) {
+      if (std::find(pre.begin(), pre.end(), p) != pre.end()) continue;
+      marked_successor |= manager_->var(place_vars_[p]);
+    }
+    *unsafe_out = states & e_[t] & marked_successor;
+  }
+  Bdd step = manager_->cofactor(states, e_[t]);
+  step &= npm_[t];
+  step = manager_->cofactor(step, nsm_[t]);
+  step &= asm_[t];
+  if (step.is_false()) return step;
+  return signal_flip_forward(step, t);
+}
+
+Bdd SymbolicStg::signal_flip_forward(const Bdd& set, pn::TransitionId t) const {
+  const stg::TransitionLabel& label = stg_->label(t);
+  if (label.is_dummy()) return set;
+  const Bdd sig = manager_->var(signal_vars_[label.signal]);
+  if (label.dir == stg::Dir::kPlus) {
+    // Keep the (consistent) a = 0 part and raise the bit. States with
+    // a = 1 would be inconsistent firings; the consistency check reports
+    // them, the image simply never creates them (Sec. 5.1).
+    return manager_->cofactor(set, !sig) & sig;
+  }
+  return manager_->cofactor(set, sig) & !sig;
+}
+
+Bdd SymbolicStg::preimage(const Bdd& states, pn::TransitionId t) const {
+  // The exact inverse: swap the roles of the four cubes and flip the
+  // signal the other way.
+  Bdd step = manager_->cofactor(states, asm_[t]);
+  step &= nsm_[t];
+  step = manager_->cofactor(step, npm_[t]);
+  step &= e_[t];
+  if (step.is_false()) return step;
+  const stg::TransitionLabel& label = stg_->label(t);
+  if (label.is_dummy()) return step;
+  const Bdd sig = manager_->var(signal_vars_[label.signal]);
+  if (label.dir == stg::Dir::kPlus) {
+    return manager_->cofactor(step, sig) & !sig;  // a was 0 before a+
+  }
+  return manager_->cofactor(step, !sig) & sig;  // a was 1 before a-
+}
+
+// ---------------------------------------------------------------------------
+// Counting
+// ---------------------------------------------------------------------------
+
+double SymbolicStg::count_states(const Bdd& set) const {
+  // sat_count ranges over every manager variable; divide the unconstrained
+  // extras (the primed twins, if any) back out.
+  const double extra = static_cast<double>(
+      manager_->var_count() - place_vars_.size() - signal_vars_.size());
+  return manager_->sat_count(set) / std::pow(2.0, extra);
+}
+
+double SymbolicStg::count_markings(const Bdd& set) {
+  const Bdd markings = manager_->exists(set, signal_cube_);
+  const double extra =
+      static_cast<double>(manager_->var_count() - place_vars_.size());
+  return manager_->sat_count(markings) / std::pow(2.0, extra);
+}
+
+double SymbolicStg::count_codes(const Bdd& set) {
+  const Bdd codes = manager_->exists(set, place_cube_);
+  const double extra =
+      static_cast<double>(manager_->var_count() - signal_vars_.size());
+  return manager_->sat_count(codes) / std::pow(2.0, extra);
+}
+
+}  // namespace stgcheck::core

@@ -1,0 +1,102 @@
+#include "core/relation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace stgcheck::core {
+
+using bdd::Bdd;
+
+RelationalEngine::RelationalEngine(SymbolicStg& sym) : sym_(sym) {
+  if (!sym.has_primed_vars()) {
+    throw ModelError(
+        "RelationalEngine needs an encoding with primed variables");
+  }
+  const pn::PetriNet& net = sym.stg().net();
+  relations_.reserve(net.transition_count());
+  monolithic_ = sym.manager().bdd_false();
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    relations_.push_back(build_relation(t));
+    monolithic_ |= relations_.back();
+  }
+}
+
+Bdd RelationalEngine::build_relation(pn::TransitionId t) const {
+  bdd::Manager& m = sym_.manager();
+  const stg::Stg& stg = sym_.stg();
+  const pn::PetriNet& net = stg.net();
+
+  const std::vector<pn::PlaceId>& pre = net.preset(t);
+  const std::vector<pn::PlaceId>& post = net.postset(t);
+  const auto in_pre = [&](pn::PlaceId p) {
+    return std::find(pre.begin(), pre.end(), p) != pre.end();
+  };
+  const auto in_post = [&](pn::PlaceId p) {
+    return std::find(post.begin(), post.end(), p) != post.end();
+  };
+
+  Bdd rel = m.bdd_true();
+  for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
+    const Bdd cur = m.var(sym_.place_var(p));
+    const Bdd nxt = m.var(sym_.primed_place_var(p));
+    if (in_pre(p) && in_post(p)) {
+      rel &= cur & nxt;  // self-loop place: stays marked
+    } else if (in_pre(p)) {
+      rel &= cur & !nxt;  // consumed
+    } else if (in_post(p)) {
+      rel &= !cur & nxt;  // produced; !cur encodes the safeness premise
+    } else {
+      rel &= !(cur ^ nxt);  // frame: unchanged
+    }
+  }
+  const stg::TransitionLabel& label = stg.label(t);
+  for (stg::SignalId s = 0; s < stg.signal_count(); ++s) {
+    const Bdd cur = m.var(sym_.signal_var(s));
+    const Bdd nxt = m.var(sym_.primed_signal_var(s));
+    if (!label.is_dummy() && s == label.signal) {
+      rel &= label.dir == stg::Dir::kPlus ? (!cur & nxt) : (cur & !nxt);
+    } else {
+      rel &= !(cur ^ nxt);
+    }
+  }
+  return rel;
+}
+
+Bdd RelationalEngine::apply(const Bdd& states, const Bdd& relation) {
+  bdd::Manager& m = sym_.manager();
+  const Bdd next_primed = m.and_exists(states, relation, sym_.state_cube());
+  return m.permute(next_primed, sym_.from_primed());
+}
+
+Bdd RelationalEngine::image(const Bdd& states) {
+  return apply(states, monolithic_);
+}
+
+Bdd RelationalEngine::image(const Bdd& states, pn::TransitionId t) {
+  return apply(states, relations_[t]);
+}
+
+Bdd RelationalEngine::preimage(const Bdd& states) {
+  bdd::Manager& m = sym_.manager();
+  const Bdd primed_states = m.permute(states, sym_.to_primed());
+  return m.and_exists(primed_states, monolithic_, sym_.primed_cube());
+}
+
+RelationalEngine::ReachResult RelationalEngine::reach() {
+  ReachResult result;
+  Bdd reached = sym_.initial_state();
+  Bdd frontier = reached;
+  while (!frontier.is_false()) {
+    ++result.passes;
+    const Bdd next = image(frontier);
+    frontier = next.minus(reached);
+    reached |= frontier;
+    result.peak_nodes =
+        std::max(result.peak_nodes, sym_.manager().count_nodes(reached));
+  }
+  result.reached = reached;
+  return result;
+}
+
+}  // namespace stgcheck::core

@@ -1,0 +1,61 @@
+// Transition relations over (V, V') variable pairs: the textbook
+// alternative to the paper's per-transition cofactor pipeline.
+//
+// The paper's image operator never builds a relation -- delta_N is four
+// cube operations -- which is one of its contributions. This module
+// implements the conventional relational product so the claim can be
+// tested rather than taken on faith (bench_traversal_strategies' fourth
+// arm), and because relations generalize to encodings the cofactor trick
+// cannot express (k-bounded places, multi-token arcs).
+//
+//   T_t(V, V') = E(t) /\ postset empty before (safeness)
+//              /\ preset empty after /\ postset full after
+//              /\ signal flip /\ frame (everything else unchanged)
+//
+//   image(S)    = (exists V  : S /\ T)[V' := V]
+//   preimage(S) =  exists V' : T /\ S[V := V']
+#pragma once
+
+#include <vector>
+
+#include "core/encoding.hpp"
+
+namespace stgcheck::core {
+
+/// Builds and applies transition relations. Requires an encoding built
+/// with primed variables (SymbolicStg(..., with_primed_vars = true)).
+class RelationalEngine {
+ public:
+  explicit RelationalEngine(SymbolicStg& sym);
+
+  /// The relation of one transition.
+  const bdd::Bdd& relation(pn::TransitionId t) const { return relations_[t]; }
+  /// The monolithic relation (disjunction over all transitions).
+  const bdd::Bdd& monolithic() const { return monolithic_; }
+
+  /// Successors of `states` under the monolithic relation.
+  bdd::Bdd image(const bdd::Bdd& states);
+  /// Successors under one transition (must equal SymbolicStg::image).
+  bdd::Bdd image(const bdd::Bdd& states, pn::TransitionId t);
+  /// Predecessors of `states` under the monolithic relation.
+  bdd::Bdd preimage(const bdd::Bdd& states);
+
+  /// Classic BFS reachability with the monolithic relation; returns the
+  /// reached set and reports the pass count.
+  struct ReachResult {
+    bdd::Bdd reached;
+    std::size_t passes = 0;
+    std::size_t peak_nodes = 0;
+  };
+  ReachResult reach();
+
+ private:
+  bdd::Bdd build_relation(pn::TransitionId t) const;
+  bdd::Bdd apply(const bdd::Bdd& states, const bdd::Bdd& relation);
+
+  SymbolicStg& sym_;
+  std::vector<bdd::Bdd> relations_;
+  bdd::Bdd monolithic_;
+};
+
+}  // namespace stgcheck::core

@@ -1,0 +1,204 @@
+#include "core/traversal.hpp"
+
+#include <algorithm>
+
+namespace stgcheck::core {
+
+using bdd::Bdd;
+
+namespace {
+
+/// Tracks lazy binding of unknown initial signal values (Sec. 5.1).
+class LazyBinder {
+ public:
+  LazyBinder(SymbolicStg& sym) : sym_(sym) {
+    const stg::Stg& stg = sym.stg();
+    bound_.assign(stg.signal_count(), false);
+    for (stg::SignalId s = 0; s < stg.signal_count(); ++s) {
+      if (stg.initial_value(s).has_value()) bound_[s] = true;
+    }
+  }
+
+  /// If the signal of `t` is still unknown and `t` is enabled somewhere in
+  /// `fire_base`, binds the implied value (a+ enabled implies a has been 0
+  /// since the start) in every given set. Returns true if a binding
+  /// happened. Cheap when nothing is unbound.
+  bool maybe_bind(pn::TransitionId t, const Bdd& fire_base,
+                  std::initializer_list<Bdd*> sets) {
+    if (all_bound_) return false;
+    const stg::TransitionLabel& label = sym_.stg().label(t);
+    if (label.is_dummy() || bound_[label.signal]) return false;
+    if (fire_base.disjoint_with(sym_.enabling_cube(t))) return false;
+    bound_[label.signal] = true;
+    all_bound_ = std::all_of(bound_.begin(), bound_.end(),
+                             [](bool b) { return b; });
+    const Bdd literal = label.dir == stg::Dir::kPlus
+                            ? !sym_.signal(label.signal)
+                            : sym_.signal(label.signal);
+    for (Bdd* set : sets) *set &= literal;
+    return true;
+  }
+
+  std::vector<stg::SignalId> unbound() const {
+    std::vector<stg::SignalId> result;
+    for (stg::SignalId s = 0; s < bound_.size(); ++s) {
+      if (!bound_[s]) result.push_back(s);
+    }
+    return result;
+  }
+
+ private:
+  SymbolicStg& sym_;
+  std::vector<bool> bound_;
+  bool all_bound_ = false;
+};
+
+/// Appends consistency violations found in `states` to the result.
+void check_consistency_on(SymbolicStg& sym, const Bdd& states,
+                          TraversalResult& result) {
+  const stg::Stg& stg = sym.stg();
+  for (stg::SignalId s = 0; s < stg.signal_count(); ++s) {
+    const Bdd sig = sym.signal(s);
+    // Inconsistent(a+) = E(a+) & a, Inconsistent(a-) = E(a-) & a'.
+    const Bdd bad_rise = sym.enabled_signal(s, stg::Dir::kPlus) & sig & states;
+    const Bdd bad_fall = sym.enabled_signal(s, stg::Dir::kMinus) & !sig & states;
+    if (!bad_rise.is_false()) {
+      result.consistent = false;
+      result.consistency_violations.push_back(
+          stg.signal_name(s) + "+ enabled while " + stg.signal_name(s) + " = 1");
+    }
+    if (!bad_fall.is_false()) {
+      result.consistent = false;
+      result.consistency_violations.push_back(
+          stg.signal_name(s) + "- enabled while " + stg.signal_name(s) + " = 0");
+    }
+  }
+}
+
+}  // namespace
+
+TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options) {
+  Stopwatch watch;
+  const pn::PetriNet& net = sym.stg().net();
+  TraversalResult result;
+  LazyBinder binder(sym);
+
+  Bdd reached = sym.initial_state();
+  Bdd from = reached;
+
+  // Bind signals enabled in the very first state before anything fires.
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    binder.maybe_bind(t, from, {&reached, &from});
+  }
+  if (options.check_consistency) {
+    check_consistency_on(sym, reached, result);
+  }
+
+  const auto track_peak = [&](const Bdd& r) {
+    result.stats.peak_reached_nodes =
+        std::max(result.stats.peak_reached_nodes, sym.manager().count_nodes(r));
+  };
+  track_peak(reached);
+
+  std::size_t sift_watermark = options.auto_sift_threshold;
+
+  bool stop = false;
+  while (!stop) {
+    ++result.stats.passes;
+    if (options.max_passes != 0 && result.stats.passes > options.max_passes) {
+      result.complete = false;
+      break;
+    }
+
+    Bdd pass_new = sym.manager().bdd_false();
+    Bdd fire_base = options.strategy == TraversalStrategy::kFullFixpoint
+                        ? reached
+                        : from;
+
+    for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+      // Lazy initial-value binding: the first enabling of a signal pins
+      // its value in everything collected so far.
+      binder.maybe_bind(t, fire_base, {&reached, &from, &fire_base, &pass_new});
+
+      Bdd unsafe;
+      Bdd to = sym.image(fire_base, t,
+                         options.check_safeness ? &unsafe : nullptr);
+      ++result.stats.image_computations;
+      if (options.check_safeness && !unsafe.is_false()) {
+        result.safe = false;
+        result.safeness_detail =
+            "firing " + sym.stg().format_label(t) +
+            " deposits a second token on a successor place";
+        if (options.abort_on_violation) {
+          stop = true;
+          break;
+        }
+      }
+      const Bdd fresh = to.minus(reached);
+      if (fresh.is_false()) continue;
+      reached |= fresh;
+      pass_new |= fresh;
+      if (options.strategy == TraversalStrategy::kChaining) {
+        // Later transitions in this pass fire from the enriched set.
+        fire_base |= fresh;
+      }
+    }
+
+    if (options.check_consistency && !pass_new.is_false()) {
+      const std::size_t before = result.consistency_violations.size();
+      check_consistency_on(sym, pass_new, result);
+      if (options.abort_on_violation &&
+          result.consistency_violations.size() > before) {
+        stop = true;
+      }
+    }
+
+    track_peak(reached);
+
+    // Dynamic reordering between passes (never inside one: the cubes and
+    // literal handles stay valid, only levels move). The raw live count
+    // includes garbage held alive by dead parents, so collect first and
+    // only sift when the *true* working set doubled since the last
+    // reorder (CUDD's policy).
+    if (options.auto_sift && sym.manager().live_nodes() > 2 * sift_watermark) {
+      sym.manager().collect_garbage();
+      if (sym.manager().live_nodes() > 2 * sift_watermark) {
+        sym.manager().sift();
+        sift_watermark = std::max(options.auto_sift_threshold,
+                                  sym.manager().live_nodes());
+      }
+    }
+
+    if (pass_new.is_false()) break;  // fixed point
+    from = pass_new;
+  }
+  if (stop) result.complete = false;
+
+  // De-duplicate violation messages (the same signal can trip many passes).
+  std::sort(result.consistency_violations.begin(),
+            result.consistency_violations.end());
+  result.consistency_violations.erase(
+      std::unique(result.consistency_violations.begin(),
+                  result.consistency_violations.end()),
+      result.consistency_violations.end());
+
+  result.reached = reached;
+  result.unbound_signals = binder.unbound();
+  result.stats.final_reached_nodes = sym.manager().count_nodes(reached);
+  result.stats.states = sym.count_states(reached);
+  result.stats.markings = sym.count_markings(reached);
+  result.stats.seconds = watch.seconds();
+  return result;
+}
+
+Bdd deadlock_states(SymbolicStg& sym, const Bdd& reached) {
+  Bdd dead = reached;
+  const pn::PetriNet& net = sym.stg().net();
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    if (dead.is_false()) break;
+    dead = dead.minus(sym.enabling_cube(t));
+  }
+  return dead;
+}
+
+}  // namespace stgcheck::core

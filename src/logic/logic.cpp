@@ -1,0 +1,81 @@
+#include "logic/logic.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace stgcheck::logic {
+
+using bdd::Bdd;
+
+LogicResult derive_logic(core::SymbolicStg& sym, const Bdd& reached) {
+  LogicResult result;
+  bdd::Manager& m = sym.manager();
+  const stg::Stg& stg = sym.stg();
+
+  for (stg::SignalId a : stg.noninput_signals()) {
+    GateEquation eq;
+    eq.signal = a;
+
+    const core::SignalRegions r = core::signal_regions(sym, reached, a);
+    const Bdd on = r.er_plus | r.qr_plus;
+    const Bdd off = r.er_minus | r.qr_minus;
+
+    if (!on.disjoint_with(off)) {
+      // CSC(a) violated: some code requires both next-values.
+      eq.derivable = false;
+      result.all_derivable = false;
+      result.equations.push_back(std::move(eq));
+      continue;
+    }
+
+    eq.derivable = true;
+    eq.cover = m.isop(on, !off, &eq.function);
+    // The interval guarantee of ISOP, restated as a hard postcondition.
+    if (!on.implies(eq.function) || !eq.function.disjoint_with(off)) {
+      throw Error("internal error: derived cover leaves the [on, !off] interval");
+    }
+
+    std::ostringstream text;
+    text << stg.signal_name(a) << " = ";
+    if (eq.cover.empty()) {
+      text << "0";
+    }
+    for (std::size_t i = 0; i < eq.cover.size(); ++i) {
+      if (i > 0) text << " + ";
+      const bdd::CubeLiterals& cube = eq.cover[i];
+      if (cube.empty()) text << "1";
+      for (std::size_t j = 0; j < cube.size(); ++j) {
+        if (j > 0) text << "&";
+        text << m.var_name(cube[j].var) << (cube[j].positive ? "" : "'");
+        ++eq.literal_count;
+      }
+    }
+    eq.text = text.str();
+    result.equations.push_back(std::move(eq));
+  }
+  return result;
+}
+
+bool eval_equation(const core::SymbolicStg& sym, const GateEquation& equation,
+                   const std::vector<bool>& code) {
+  std::vector<bool> assignment(sym.manager().var_count(), false);
+  for (stg::SignalId s = 0; s < sym.stg().signal_count(); ++s) {
+    assignment[sym.signal_var(s)] = code[s];
+  }
+  return sym.manager().eval(equation.function, assignment);
+}
+
+std::string LogicResult::netlist() const {
+  std::ostringstream out;
+  for (const GateEquation& eq : equations) {
+    if (eq.derivable) {
+      out << eq.text << "\n";
+    } else {
+      out << "# signal " << eq.signal << ": not derivable (CSC violation)\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace stgcheck::logic

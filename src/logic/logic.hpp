@@ -1,0 +1,55 @@
+// Complex-gate logic derivation from a CSC-satisfying state graph.
+//
+// The paper stops at checking implementability: "if we somehow manage to
+// check that the STG can have a strongly equivalent circuit, then the
+// logic equations for all gates of the circuit can be derived by the STG
+// in a conventional way" (Sec. 2, citing Chu '87). This module is that
+// conventional way, done symbolically:
+//
+// For every non-input signal a, the next-state function is
+//
+//     on-set(a)  = ER(a+) u QR(a+)     (a rises or stays high)
+//     off-set(a) = ER(a-) u QR(a-)     (a falls or stays low)
+//     dc-set(a)  = codes not reachable
+//
+// CSC(a) is exactly the condition that on-set and off-set are disjoint
+// (Sec. 5.3 / [8]). The cover is extracted with the BDD ISOP and verified
+// against the interval [on-set, complement of off-set].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/checks.hpp"
+#include "core/encoding.hpp"
+
+namespace stgcheck::logic {
+
+/// One derived complex gate.
+struct GateEquation {
+  stg::SignalId signal = stg::kNoSignal;
+  bool derivable = false;       ///< false iff CSC(signal) is violated
+  bdd::Bdd function;            ///< next-state function over signal variables
+  std::vector<bdd::CubeLiterals> cover;  ///< irredundant SOP of `function`
+  std::string text;             ///< "a = b&c' + d" rendered with signal names
+  std::size_t literal_count = 0;
+};
+
+struct LogicResult {
+  bool all_derivable = true;
+  std::vector<GateEquation> equations;  ///< one per non-input signal
+
+  /// The full netlist as text, one equation per line.
+  std::string netlist() const;
+};
+
+/// Derives the complex-gate next-state function of every non-input signal
+/// from the reachable set. Signals with CSC violations are reported as
+/// non-derivable instead of producing a wrong cover.
+LogicResult derive_logic(core::SymbolicStg& sym, const bdd::Bdd& reached);
+
+/// Evaluates a derived function on a full code (indexed by signal id).
+bool eval_equation(const core::SymbolicStg& sym, const GateEquation& equation,
+                   const std::vector<bool>& code);
+
+}  // namespace stgcheck::logic

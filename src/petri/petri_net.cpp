@@ -1,0 +1,194 @@
+#include "petri/petri_net.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace stgcheck::pn {
+
+// ---------------------------------------------------------------------------
+// Marking
+// ---------------------------------------------------------------------------
+
+std::size_t Marking::total_tokens() const {
+  std::size_t sum = 0;
+  for (std::uint8_t t : tokens_) sum += t;
+  return sum;
+}
+
+std::uint8_t Marking::max_tokens() const {
+  std::uint8_t best = 0;
+  for (std::uint8_t t : tokens_) best = std::max(best, t);
+  return best;
+}
+
+bool Marking::strictly_dominates(const Marking& other) const {
+  bool strict = false;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (tokens_[i] < other.tokens_[i]) return false;
+    if (tokens_[i] > other.tokens_[i]) strict = true;
+  }
+  return strict;
+}
+
+std::size_t Marking::hash() const {
+  std::size_t h = 1469598103934665603ull;  // FNV offset basis
+  for (std::uint8_t t : tokens_) {
+    h ^= t;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// PetriNet
+// ---------------------------------------------------------------------------
+
+PlaceId PetriNet::add_place(const std::string& name, std::uint8_t initial_tokens) {
+  if (name.empty()) throw ModelError("place name must not be empty");
+  if (place_index_.count(name) != 0) {
+    throw ModelError("duplicate place name: " + name);
+  }
+  const PlaceId p = static_cast<PlaceId>(place_names_.size());
+  place_names_.push_back(name);
+  place_index_.emplace(name, p);
+  p_preset_.emplace_back();
+  p_postset_.emplace_back();
+  // Extend the initial marking.
+  Marking extended(place_names_.size());
+  for (PlaceId i = 0; i < initial_.place_count(); ++i) {
+    extended.set_tokens(i, initial_.tokens(i));
+  }
+  extended.set_tokens(p, initial_tokens);
+  initial_ = extended;
+  return p;
+}
+
+TransitionId PetriNet::add_transition(const std::string& name) {
+  if (name.empty()) throw ModelError("transition name must not be empty");
+  if (transition_index_.count(name) != 0) {
+    throw ModelError("duplicate transition name: " + name);
+  }
+  const TransitionId t = static_cast<TransitionId>(transition_names_.size());
+  transition_names_.push_back(name);
+  transition_index_.emplace(name, t);
+  t_preset_.emplace_back();
+  t_postset_.emplace_back();
+  return t;
+}
+
+void PetriNet::add_arc_pt(PlaceId from, TransitionId to) {
+  if (from >= place_count() || to >= transition_count()) {
+    throw ModelError("arc references unknown place or transition");
+  }
+  auto& pre = t_preset_[to];
+  if (std::find(pre.begin(), pre.end(), from) != pre.end()) {
+    throw ModelError("duplicate arc " + place_name(from) + " -> " +
+                     transition_name(to));
+  }
+  pre.push_back(from);
+  p_postset_[from].push_back(to);
+}
+
+void PetriNet::add_arc_tp(TransitionId from, PlaceId to) {
+  if (to >= place_count() || from >= transition_count()) {
+    throw ModelError("arc references unknown place or transition");
+  }
+  auto& post = t_postset_[from];
+  if (std::find(post.begin(), post.end(), to) != post.end()) {
+    throw ModelError("duplicate arc " + transition_name(from) + " -> " +
+                     place_name(to));
+  }
+  post.push_back(to);
+  p_preset_[to].push_back(from);
+}
+
+PlaceId PetriNet::find_place(const std::string& name) const {
+  auto it = place_index_.find(name);
+  return it == place_index_.end() ? kNoId : it->second;
+}
+
+TransitionId PetriNet::find_transition(const std::string& name) const {
+  auto it = transition_index_.find(name);
+  return it == transition_index_.end() ? kNoId : it->second;
+}
+
+void PetriNet::set_initial_marking(const Marking& m) {
+  if (m.place_count() != place_count()) {
+    throw ModelError("initial marking has wrong place count");
+  }
+  initial_ = m;
+}
+
+void PetriNet::set_initial_tokens(PlaceId p, std::uint8_t tokens) {
+  if (p >= place_count()) throw ModelError("unknown place");
+  initial_.set_tokens(p, tokens);
+}
+
+bool PetriNet::enabled(const Marking& m, TransitionId t) const {
+  for (PlaceId p : t_preset_[t]) {
+    if (m.tokens(p) == 0) return false;
+  }
+  return true;
+}
+
+Marking PetriNet::fire(const Marking& m, TransitionId t) const {
+  Marking next = m;
+  for (PlaceId p : t_preset_[t]) {
+    if (next.tokens(p) == 0) {
+      throw ModelError("firing disabled transition " + transition_name(t));
+    }
+    next.set_tokens(p, next.tokens(p) - 1);
+  }
+  for (PlaceId p : t_postset_[t]) {
+    if (next.tokens(p) == 255) {
+      throw ModelError("token overflow on place " + place_name(p));
+    }
+    next.set_tokens(p, next.tokens(p) + 1);
+  }
+  return next;
+}
+
+bool PetriNet::backward_enabled(const Marking& m, TransitionId t) const {
+  for (PlaceId p : t_postset_[t]) {
+    if (m.tokens(p) == 0) return false;
+  }
+  return true;
+}
+
+Marking PetriNet::fire_backward(const Marking& m, TransitionId t) const {
+  Marking prev = m;
+  for (PlaceId p : t_postset_[t]) {
+    if (prev.tokens(p) == 0) {
+      throw ModelError("backward-firing transition without successor tokens: " +
+                       transition_name(t));
+    }
+    prev.set_tokens(p, prev.tokens(p) - 1);
+  }
+  for (PlaceId p : t_preset_[t]) {
+    if (prev.tokens(p) == 255) {
+      throw ModelError("token overflow on place " + place_name(p));
+    }
+    prev.set_tokens(p, prev.tokens(p) + 1);
+  }
+  return prev;
+}
+
+std::vector<TransitionId> PetriNet::enabled_transitions(const Marking& m) const {
+  std::vector<TransitionId> result;
+  for (TransitionId t = 0; t < transition_count(); ++t) {
+    if (enabled(m, t)) result.push_back(t);
+  }
+  return result;
+}
+
+void PetriNet::validate() const {
+  for (TransitionId t = 0; t < transition_count(); ++t) {
+    if (t_preset_[t].empty()) {
+      throw ModelError("transition " + transition_name(t) +
+                       " has an empty preset (always enabled => unbounded)");
+    }
+  }
+}
+
+}  // namespace stgcheck::pn

@@ -1,0 +1,138 @@
+// Place-transition Petri nets (Murata '89), the substrate under every STG.
+//
+// N = (P, T, F, m0): places, transitions, flow relation and initial
+// marking. A transition is enabled when all its input places are marked;
+// firing consumes one token per input place and produces one per output
+// place. The symbolic encoding in src/core assumes safe nets (one Boolean
+// variable per place); k-bounded markings are supported by the explicit
+// engine and detected by the boundedness checker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stgcheck::pn {
+
+using PlaceId = std::uint32_t;
+using TransitionId = std::uint32_t;
+
+inline constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+/// A marking: token count per place, indexed by PlaceId. Token counts are
+/// capped at 255 (far beyond any bounded net we handle).
+class Marking {
+ public:
+  Marking() = default;
+  explicit Marking(std::size_t place_count) : tokens_(place_count, 0) {}
+
+  std::uint8_t tokens(PlaceId p) const { return tokens_[p]; }
+  void set_tokens(PlaceId p, std::uint8_t n) { tokens_[p] = n; }
+  std::size_t place_count() const { return tokens_.size(); }
+
+  /// Total number of tokens in the marking.
+  std::size_t total_tokens() const;
+  /// Largest token count on any single place.
+  std::uint8_t max_tokens() const;
+
+  /// Componentwise comparison: true if *this >= other everywhere and
+  /// strictly greater somewhere (the Karp-Miller domination test).
+  bool strictly_dominates(const Marking& other) const;
+
+  friend bool operator==(const Marking&, const Marking&) = default;
+
+  /// FNV-1a over the token vector, for hash containers.
+  std::size_t hash() const;
+
+ private:
+  std::vector<std::uint8_t> tokens_;
+};
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const { return m.hash(); }
+};
+
+/// The net structure. Place/transition ids are dense and stable; arcs are
+/// stored as preset/postset adjacency in insertion order.
+class PetriNet {
+ public:
+  /// Adds a place with `initial_tokens` tokens; names must be unique and
+  /// non-empty.
+  PlaceId add_place(const std::string& name, std::uint8_t initial_tokens = 0);
+  /// Adds a transition; names must be unique and non-empty.
+  TransitionId add_transition(const std::string& name);
+  // PlaceId and TransitionId are both integer aliases, so the two arc
+  // directions need distinct names.
+  /// Adds an arc place -> transition. Duplicate arcs are rejected (they
+  /// would mean arc weights, which safe STGs never use).
+  void add_arc_pt(PlaceId from, TransitionId to);
+  /// Adds an arc transition -> place.
+  void add_arc_tp(TransitionId from, PlaceId to);
+
+  std::size_t place_count() const { return place_names_.size(); }
+  std::size_t transition_count() const { return transition_names_.size(); }
+
+  const std::string& place_name(PlaceId p) const { return place_names_.at(p); }
+  const std::string& transition_name(TransitionId t) const {
+    return transition_names_.at(t);
+  }
+
+  /// Id lookup by name; returns kNoId if absent.
+  PlaceId find_place(const std::string& name) const;
+  TransitionId find_transition(const std::string& name) const;
+
+  /// Input places of a transition (the set "•t" of the paper).
+  const std::vector<PlaceId>& preset(TransitionId t) const {
+    return t_preset_.at(t);
+  }
+  /// Output places of a transition ("t•").
+  const std::vector<PlaceId>& postset(TransitionId t) const {
+    return t_postset_.at(t);
+  }
+  /// Input transitions of a place ("•p").
+  const std::vector<TransitionId>& preset_of_place(PlaceId p) const {
+    return p_preset_.at(p);
+  }
+  /// Output transitions of a place ("p•").
+  const std::vector<TransitionId>& postset_of_place(PlaceId p) const {
+    return p_postset_.at(p);
+  }
+
+  const Marking& initial_marking() const { return initial_; }
+  /// Replaces the initial marking (used by the .g parser).
+  void set_initial_marking(const Marking& m);
+  /// Sets the token count of one place in the initial marking.
+  void set_initial_tokens(PlaceId p, std::uint8_t tokens);
+
+  /// True if `t` is enabled at `m`.
+  bool enabled(const Marking& m, TransitionId t) const;
+  /// Fires `t` at `m` (must be enabled) and returns the successor marking.
+  Marking fire(const Marking& m, TransitionId t) const;
+  /// Reverse firing: returns the unique m' with m' -> m via t. `t` must be
+  /// "backward enabled" (all postset places marked at m).
+  bool backward_enabled(const Marking& m, TransitionId t) const;
+  Marking fire_backward(const Marking& m, TransitionId t) const;
+
+  /// All transitions enabled at `m`, in id order.
+  std::vector<TransitionId> enabled_transitions(const Marking& m) const;
+
+  /// Throws ModelError if the net is malformed (e.g. transitions with empty
+  /// presets, which would be continuously enabled and unbounded).
+  void validate() const;
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<std::string> transition_names_;
+  std::unordered_map<std::string, PlaceId> place_index_;
+  std::unordered_map<std::string, TransitionId> transition_index_;
+
+  std::vector<std::vector<PlaceId>> t_preset_;
+  std::vector<std::vector<PlaceId>> t_postset_;
+  std::vector<std::vector<TransitionId>> p_preset_;
+  std::vector<std::vector<TransitionId>> p_postset_;
+
+  Marking initial_;
+};
+
+}  // namespace stgcheck::pn

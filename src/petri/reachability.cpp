@@ -1,0 +1,120 @@
+#include "petri/reachability.hpp"
+
+#include <deque>
+
+namespace stgcheck::pn {
+
+std::optional<std::size_t> ReachabilityGraph::index_of(const Marking& m) const {
+  auto it = index.find(m);
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+ReachabilityGraph explore(const PetriNet& net, const ExploreOptions& options) {
+  ReachabilityGraph graph;
+  std::deque<std::size_t> frontier;
+
+  const Marking& m0 = net.initial_marking();
+  graph.markings.push_back(m0);
+  graph.edges.emplace_back();
+  graph.index.emplace(m0, 0);
+  frontier.push_back(0);
+
+  while (!frontier.empty()) {
+    const std::size_t current = frontier.front();
+    frontier.pop_front();
+    // Copy: the markings vector may reallocate as successors are added.
+    const Marking m = graph.markings[current];
+
+    for (TransitionId t = 0; t < net.transition_count(); ++t) {
+      if (!net.enabled(m, t)) continue;
+      Marking next = net.fire(m, t);
+      if (next.max_tokens() > options.token_cap) {
+        graph.complete = false;
+        graph.incomplete_reason =
+            "token cap " + std::to_string(options.token_cap) + " exceeded";
+        return graph;
+      }
+      auto [it, inserted] = graph.index.emplace(next, graph.markings.size());
+      if (inserted) {
+        if (graph.markings.size() >= options.state_cap) {
+          graph.complete = false;
+          graph.incomplete_reason =
+              "state cap " + std::to_string(options.state_cap) + " exceeded";
+          return graph;
+        }
+        graph.markings.push_back(std::move(next));
+        graph.edges.emplace_back();
+        frontier.push_back(it->second);
+      }
+      graph.edges[current].push_back(ReachEdge{t, it->second});
+    }
+  }
+  return graph;
+}
+
+BoundednessResult check_boundedness(const PetriNet& net,
+                                    const ExploreOptions& options) {
+  BoundednessResult result;
+
+  // Iterative DFS carrying the path of markings for the domination test.
+  struct Frame {
+    Marking marking;
+    std::vector<TransitionId> enabled;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> path;
+  std::unordered_map<Marking, bool, MarkingHash> visited;  // true = on path
+
+  const Marking& m0 = net.initial_marking();
+  path.push_back(Frame{m0, net.enabled_transitions(m0), 0});
+  visited.emplace(m0, true);
+  result.bound = m0.max_tokens();
+
+  while (!path.empty()) {
+    Frame& frame = path.back();
+    if (frame.next == frame.enabled.size()) {
+      visited[frame.marking] = false;  // leaving the path
+      path.pop_back();
+      continue;
+    }
+    const TransitionId t = frame.enabled[frame.next++];
+    Marking next = net.fire(frame.marking, t);
+
+    // Karp-Miller domination against every marking on the current path.
+    for (const Frame& ancestor : path) {
+      if (next.strictly_dominates(ancestor.marking)) {
+        result.bounded = false;
+        result.proven = true;
+        result.detail = "marking after firing " + net.transition_name(t) +
+                        " strictly dominates an ancestor marking";
+        return result;
+      }
+    }
+
+    result.bound = std::max(result.bound, next.max_tokens());
+    if (next.max_tokens() > options.token_cap) {
+      result.proven = false;
+      result.detail = "token cap " + std::to_string(options.token_cap) +
+                      " exceeded without a domination witness";
+      return result;
+    }
+
+    auto it = visited.find(next);
+    if (it != visited.end()) continue;  // already fully explored or on path
+    if (visited.size() >= options.state_cap) {
+      result.proven = false;
+      result.detail = "state cap " + std::to_string(options.state_cap) +
+                      " exceeded";
+      return result;
+    }
+    visited.emplace(next, true);
+    std::vector<TransitionId> enabled = net.enabled_transitions(next);
+    path.push_back(Frame{std::move(next), std::move(enabled), 0});
+  }
+
+  result.detail = std::to_string(result.bound) + "-bounded";
+  return result;
+}
+
+}  // namespace stgcheck::pn

@@ -1,0 +1,62 @@
+// Explicit reachability analysis: the "traditional explicit
+// state-enumeration technique" the paper's symbolic algorithms replace.
+// Also hosts the boundedness/safeness checks of Sec. 3.1.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/petri_net.hpp"
+
+namespace stgcheck::pn {
+
+/// Limits for explicit exploration.
+struct ExploreOptions {
+  std::size_t state_cap = 2'000'000;  ///< abort after this many markings
+  std::uint8_t token_cap = 16;        ///< abort if any place exceeds this
+};
+
+/// One edge of the reachability graph.
+struct ReachEdge {
+  TransitionId transition;
+  std::size_t target;  ///< index into ReachabilityGraph::markings
+};
+
+/// Explicit reachability graph: markings in discovery (BFS) order plus the
+/// successor relation.
+struct ReachabilityGraph {
+  std::vector<Marking> markings;
+  std::vector<std::vector<ReachEdge>> edges;  ///< per marking
+  bool complete = true;         ///< false if a cap stopped the search
+  std::string incomplete_reason;
+
+  std::size_t size() const { return markings.size(); }
+  /// Index of a marking, or nullopt if not reached.
+  std::optional<std::size_t> index_of(const Marking& m) const;
+
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+};
+
+/// Breadth-first exploration from the initial marking.
+ReachabilityGraph explore(const PetriNet& net, const ExploreOptions& options = {});
+
+/// Result of the boundedness check.
+struct BoundednessResult {
+  bool bounded = true;     ///< false only when a domination witness was found
+  bool proven = true;      ///< false if a cap stopped the search undecided
+  std::uint8_t bound = 0;  ///< max tokens per place seen (k of k-bounded)
+  std::string detail;      ///< human-readable witness / cap description
+  bool is_safe() const { return bounded && proven && bound <= 1; }
+};
+
+/// Checks boundedness by depth-first search with the Karp-Miller domination
+/// test on the search path: a marking strictly dominating one of its
+/// ancestors proves unboundedness. If neither a witness nor exhaustion is
+/// reached within the caps, `proven` is false.
+BoundednessResult check_boundedness(const PetriNet& net,
+                                    const ExploreOptions& options = {});
+
+}  // namespace stgcheck::pn

@@ -1,0 +1,72 @@
+#include "petri/structural.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace stgcheck::pn {
+
+std::vector<PlaceId> conflict_places(const PetriNet& net) {
+  std::vector<PlaceId> result;
+  for (PlaceId p = 0; p < net.place_count(); ++p) {
+    if (net.postset_of_place(p).size() > 1) result.push_back(p);
+  }
+  return result;
+}
+
+std::vector<StructuralConflict> structural_conflicts(const PetriNet& net) {
+  std::vector<StructuralConflict> result;
+  std::set<std::pair<TransitionId, TransitionId>> seen;
+  for (PlaceId p : conflict_places(net)) {
+    const auto& post = net.postset_of_place(p);
+    for (TransitionId t1 : post) {
+      for (TransitionId t2 : post) {
+        if (t1 == t2) continue;
+        if (seen.insert({t1, t2}).second) {
+          result.push_back(StructuralConflict{p, t1, t2});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool is_marked_graph(const PetriNet& net) {
+  for (PlaceId p = 0; p < net.place_count(); ++p) {
+    if (net.preset_of_place(p).size() > 1) return false;
+    if (net.postset_of_place(p).size() > 1) return false;
+  }
+  return true;
+}
+
+bool is_state_machine(const PetriNet& net) {
+  for (TransitionId t = 0; t < net.transition_count(); ++t) {
+    if (net.preset(t).size() != 1) return false;
+    if (net.postset(t).size() != 1) return false;
+  }
+  return true;
+}
+
+bool is_free_choice(const PetriNet& net) {
+  for (PlaceId p = 0; p < net.place_count(); ++p) {
+    const auto& post = net.postset_of_place(p);
+    if (post.size() <= 1) continue;
+    for (TransitionId t : post) {
+      if (net.preset(t).size() != 1) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TransitionId> conflict_free_transitions(const PetriNet& net) {
+  std::vector<bool> in_conflict(net.transition_count(), false);
+  for (PlaceId p : conflict_places(net)) {
+    for (TransitionId t : net.postset_of_place(p)) in_conflict[t] = true;
+  }
+  std::vector<TransitionId> result;
+  for (TransitionId t = 0; t < net.transition_count(); ++t) {
+    if (!in_conflict[t]) result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace stgcheck::pn

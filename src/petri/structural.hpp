@@ -1,0 +1,48 @@
+// Structural (marking-independent) net analysis. The paper exploits
+// structure twice: persistency only needs to be checked for transitions
+// sharing an input place (Fig. 6 iterates over conflict places), and marked
+// graphs are persistent outright, so the whole check is skipped for them
+// (Sec. 6: "master-read and Muller's pipeline are marked graphs").
+#pragma once
+
+#include <vector>
+
+#include "petri/petri_net.hpp"
+
+namespace stgcheck::pn {
+
+/// Places with more than one output transition: the only possible sources
+/// of (direct) conflicts and hence of non-persistency (Def. 3.3).
+std::vector<PlaceId> conflict_places(const PetriNet& net);
+
+/// A pair of distinct transitions sharing an input place ("structural
+/// conflict"). `place` is one shared input place.
+struct StructuralConflict {
+  PlaceId place;
+  TransitionId t1;
+  TransitionId t2;
+};
+
+/// All ordered pairs (t1, t2), t1 != t2, sharing at least one input place.
+/// Each unordered pair appears twice (once per order) because the
+/// persistency check of Fig. 6 is asymmetric. Pairs are deduplicated per
+/// place set (a pair sharing two places is reported once).
+std::vector<StructuralConflict> structural_conflicts(const PetriNet& net);
+
+/// Marked graph: every place has at most one input and one output
+/// transition. Marked graphs have no conflicts and are always persistent.
+bool is_marked_graph(const PetriNet& net);
+
+/// State machine: every transition has exactly one input and one output
+/// place.
+bool is_state_machine(const PetriNet& net);
+
+/// Free choice: whenever a place has several output transitions, it is the
+/// unique input place of each of them (conflicts are "pure choices").
+bool is_free_choice(const PetriNet& net);
+
+/// Transitions with no structural conflict on any input place. These are
+/// persistent for structural reasons and can be skipped by Fig. 6.
+std::vector<TransitionId> conflict_free_transitions(const PetriNet& net);
+
+}  // namespace stgcheck::pn

@@ -1,0 +1,453 @@
+#include "sg/explicit_checks.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "petri/structural.hpp"
+
+namespace stgcheck::sg {
+
+namespace {
+
+using stg::Dir;
+using stg::SignalId;
+using stg::TransitionLabel;
+
+/// Code of an (a, dir) pair as needed below.
+bool rising(const TransitionLabel& label) { return label.dir == Dir::kPlus; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Consistency
+// ---------------------------------------------------------------------------
+
+ConsistencyResult check_consistency(const StateGraph& graph) {
+  ConsistencyResult result;
+  const stg::Stg& stg = *graph.stg;
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    for (const SgEdge& e : graph.edges[s]) {
+      const TransitionLabel& label = stg.label(e.transition);
+      if (label.is_dummy()) continue;  // dummies change no bit by definition
+      const std::uint8_t before = graph.codes[s][label.signal];
+      if (before == kUnknown) continue;  // value adopted on first firing
+      const bool rise = rising(label);
+      if ((rise && before != kZero) || (!rise && before != kOne)) {
+        result.consistent = false;
+        result.violations.push_back(ConsistencyViolation{
+            s, e.transition,
+            stg.format_label(e.transition) + " fires while " +
+                stg.signal_name(label.signal) + " = " +
+                std::to_string(static_cast<int>(before))});
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Persistency
+// ---------------------------------------------------------------------------
+
+PersistencyResult check_signal_persistency(const StateGraph& graph,
+                                           const PersistencyOptions& options) {
+  PersistencyResult result;
+  const stg::Stg& stg = *graph.stg;
+
+  const auto arbitration_allowed = [&](SignalId a, SignalId b) {
+    for (const auto& [x, y] : options.arbitration_pairs) {
+      if ((x == a && y == b) || (x == b && y == a)) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    for (const SgEdge& e : graph.edges[s]) {
+      const TransitionLabel& firing = stg.label(e.transition);
+      // Which signals were enabled before and are not after?
+      for (SignalId victim = 0; victim < stg.signal_count(); ++victim) {
+        if (!firing.is_dummy() && victim == firing.signal) continue;
+        if (!graph.signal_enabled(s, victim)) continue;
+        if (graph.signal_enabled(e.target, victim)) continue;
+
+        const bool victim_input = stg.is_input(victim);
+        const bool firing_input =
+            firing.is_dummy() ? false : stg.is_input(firing.signal);
+        // Legal case: input disabled by input (environment choice).
+        if (victim_input && firing_input) continue;
+        // Declared arbitration points may disable each other.
+        if (!victim_input && !firing.is_dummy() &&
+            arbitration_allowed(victim, firing.signal)) {
+          continue;
+        }
+        result.persistent = false;
+        result.violations.push_back(
+            PersistencyViolation{s, e.transition, victim, victim_input});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<TransitionPersistencyViolation> check_transition_persistency(
+    const StateGraph& graph) {
+  std::vector<TransitionPersistencyViolation> result;
+  const pn::PetriNet& net = graph.stg->net();
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    const std::vector<pn::TransitionId> enabled = graph.enabled_transitions(s);
+    for (const SgEdge& e : graph.edges[s]) {
+      for (pn::TransitionId victim : enabled) {
+        if (victim == e.transition) continue;
+        if (!net.enabled(graph.markings[e.target], victim)) {
+          result.push_back(
+              TransitionPersistencyViolation{s, victim, e.transition});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and commutativity
+// ---------------------------------------------------------------------------
+
+std::vector<DeterminismViolation> check_determinism(const StateGraph& graph) {
+  std::vector<DeterminismViolation> result;
+  const stg::Stg& stg = *graph.stg;
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    const std::vector<pn::TransitionId> enabled = graph.enabled_transitions(s);
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      for (std::size_t j = i + 1; j < enabled.size(); ++j) {
+        const TransitionLabel& l1 = stg.label(enabled[i]);
+        const TransitionLabel& l2 = stg.label(enabled[j]);
+        if (l1.is_dummy() || l2.is_dummy()) continue;
+        if (l1.signal == l2.signal && l1.dir == l2.dir) {
+          result.push_back(DeterminismViolation{s, enabled[i], enabled[j]});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<CommutativityViolation> check_commutativity(const StateGraph& graph) {
+  std::vector<CommutativityViolation> result;
+  const stg::Stg& stg = *graph.stg;
+
+  // Label key: (signal, dir); dummies are keyed by their transition id so
+  // distinct dummies are distinct "labels".
+  using LabelKey = std::pair<std::uint64_t, std::uint64_t>;
+  const auto key_of = [&](pn::TransitionId t) -> LabelKey {
+    const TransitionLabel& l = stg.label(t);
+    if (l.is_dummy()) return {~std::uint64_t{0}, t};
+    return {l.signal, static_cast<std::uint64_t>(l.dir)};
+  };
+
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    // Group enabled transitions by label.
+    std::map<LabelKey, std::vector<pn::TransitionId>> by_label;
+    for (pn::TransitionId t : graph.enabled_transitions(s)) {
+      by_label[key_of(t)].push_back(t);
+    }
+    if (by_label.size() < 2) continue;
+
+    for (auto it1 = by_label.begin(); it1 != by_label.end(); ++it1) {
+      for (auto it2 = std::next(it1); it2 != by_label.end(); ++it2) {
+        // All states reachable via label1 then label2, and vice versa.
+        std::set<std::size_t> via12;
+        std::set<std::size_t> via21;
+        const auto follow = [&](const std::vector<pn::TransitionId>& first,
+                                const LabelKey& second_key,
+                                std::set<std::size_t>& out) {
+          for (pn::TransitionId t1 : first) {
+            const auto mid = graph.successor(s, t1);
+            if (!mid.has_value()) continue;
+            for (const SgEdge& e : graph.edges[*mid]) {
+              if (key_of(e.transition) == second_key) out.insert(e.target);
+            }
+          }
+        };
+        follow(it1->second, it2->first, via12);
+        follow(it2->second, it1->first, via21);
+        if (via12.empty() || via21.empty()) continue;  // no full diamond
+        std::set<std::size_t> all = via12;
+        all.insert(via21.begin(), via21.end());
+        if (all.size() > 1) {
+          const auto label_text = [&](const std::vector<pn::TransitionId>& ts) {
+            return stg.format_label(ts.front());
+          };
+          result.push_back(CommutativityViolation{
+              s, label_text(it1->second), label_text(it2->second)});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// USC / CSC
+// ---------------------------------------------------------------------------
+
+CodingResult check_coding(const StateGraph& graph) {
+  CodingResult result;
+  const stg::Stg& stg = *graph.stg;
+
+  // Group states by code.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_code;
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    by_code[graph.code_string(s)].push_back(s);
+  }
+
+  for (const auto& [code, states] : by_code) {
+    if (states.size() > 1) result.unique_state_coding = false;
+  }
+
+  // CSC per non-input signal via the region formulation: a code violates
+  // CSC(a) if it is both excited (some state with a* enabled) and
+  // quiescent of the opposite polarity (some state with a stable at the
+  // pre-transition value).
+  for (SignalId a : stg.noninput_signals()) {
+    std::unordered_map<std::string, std::size_t> er_plus;
+    std::unordered_map<std::string, std::size_t> er_minus;
+    std::unordered_map<std::string, std::size_t> qr_plus;   // a=1, a- not enabled
+    std::unordered_map<std::string, std::size_t> qr_minus;  // a=0, a+ not enabled
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      const std::string code = graph.code_string(s);
+      bool plus_enabled = false;
+      bool minus_enabled = false;
+      for (const pn::TransitionId t : graph.enabled_transitions(s)) {
+        const TransitionLabel& l = stg.label(t);
+        if (l.is_dummy() || l.signal != a) continue;
+        (rising(l) ? plus_enabled : minus_enabled) = true;
+      }
+      if (plus_enabled) er_plus.emplace(code, s);
+      if (minus_enabled) er_minus.emplace(code, s);
+      const std::uint8_t value = graph.codes[s][a];
+      if (value == kOne && !minus_enabled) qr_plus.emplace(code, s);
+      if (value == kZero && !plus_enabled) qr_minus.emplace(code, s);
+    }
+    for (const auto& [code, s] : er_plus) {
+      auto it = qr_minus.find(code);
+      if (it != qr_minus.end()) {
+        result.complete_state_coding = false;
+        result.violations.push_back(CscViolation{a, s, it->second});
+      }
+    }
+    for (const auto& [code, s] : er_minus) {
+      auto it = qr_plus.find(code);
+      if (it != qr_plus.end()) {
+        result.complete_state_coding = false;
+        result.violations.push_back(CscViolation{a, s, it->second});
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// CSC reducibility
+// ---------------------------------------------------------------------------
+
+ReducibilityResult check_csc_reducibility(const StateGraph& graph) {
+  ReducibilityResult result;
+  const stg::Stg& stg = *graph.stg;
+
+  const CodingResult coding = check_coding(graph);
+  result.csc_satisfied = coding.complete_state_coding;
+  if (result.csc_satisfied) return result;  // nothing to reduce
+
+  // Inverse edges restricted to input transitions ("frozen" non-inputs).
+  std::vector<std::vector<std::size_t>> input_preds(graph.size());
+  std::vector<std::vector<std::size_t>> input_succs(graph.size());
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    for (const SgEdge& e : graph.edges[s]) {
+      const TransitionLabel& l = stg.label(e.transition);
+      if (l.is_dummy() || !stg.is_input(l.signal)) continue;
+      input_succs[s].push_back(e.target);
+      input_preds[e.target].push_back(s);
+    }
+  }
+
+  for (SignalId a : stg.noninput_signals()) {
+    // Per-state excitation/quiescence and contradictory code set CONT(a).
+    std::vector<bool> excited(graph.size(), false);
+    std::vector<std::uint8_t> polarity(graph.size(), 0);  // 1 = a+, 2 = a-
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      for (pn::TransitionId t : graph.enabled_transitions(s)) {
+        const TransitionLabel& l = stg.label(t);
+        if (!l.is_dummy() && l.signal == a) {
+          excited[s] = true;
+          polarity[s] = rising(l) ? 1 : 2;
+        }
+      }
+    }
+    std::unordered_set<std::string> er_codes[3];  // by polarity 1/2
+    std::unordered_set<std::string> qr_codes[3];  // quiescent low=1? see below
+    // qr_codes[1]: QR(a-) codes (a=0, a+ not enabled);
+    // qr_codes[2]: QR(a+) codes (a=1, a- not enabled).
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      const std::string code = graph.code_string(s);
+      if (excited[s]) er_codes[polarity[s]].insert(code);
+      const std::uint8_t value = graph.codes[s][a];
+      if (value == kZero && polarity[s] != 1) qr_codes[1].insert(code);
+      if (value == kOne && polarity[s] != 2) qr_codes[2].insert(code);
+    }
+    std::unordered_set<std::string> cont;
+    for (const std::string& code : er_codes[1]) {
+      if (qr_codes[1].count(code) != 0) cont.insert(code);
+    }
+    for (const std::string& code : er_codes[2]) {
+      if (qr_codes[2].count(code) != 0) cont.insert(code);
+    }
+    if (cont.empty()) continue;  // no CSC problem for this signal
+
+    // Seed: quiescent full states with a contradictory code.
+    std::deque<std::size_t> frontier;
+    std::vector<bool> reached(graph.size(), false);
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      if (excited[s]) continue;
+      const std::string code = graph.code_string(s);
+      const std::uint8_t value = graph.codes[s][a];
+      const bool quiescent =
+          (value == kZero || value == kOne) && cont.count(code) != 0;
+      if (quiescent) {
+        reached[s] = true;
+        frontier.push_back(s);
+      }
+    }
+    // Backward then forward closure over input-only edges.
+    std::deque<std::size_t> backward = frontier;
+    while (!backward.empty()) {
+      const std::size_t s = backward.front();
+      backward.pop_front();
+      for (std::size_t p : input_preds[s]) {
+        if (!reached[p]) {
+          reached[p] = true;
+          backward.push_back(p);
+          frontier.push_back(p);
+        }
+      }
+    }
+    while (!frontier.empty()) {
+      const std::size_t s = frontier.front();
+      frontier.pop_front();
+      for (std::size_t n : input_succs[s]) {
+        if (!reached[n]) {
+          reached[n] = true;
+          frontier.push_back(n);
+        }
+      }
+    }
+    // Irreducible if the frozen set contains an excited contradictory state.
+    bool irreducible = false;
+    for (std::size_t s = 0; s < graph.size() && !irreducible; ++s) {
+      if (reached[s] && excited[s] && cont.count(graph.code_string(s)) != 0) {
+        irreducible = true;
+      }
+    }
+    if (irreducible) {
+      result.reducible = false;
+      result.irreducible_signals.push_back(a);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Fake conflicts
+// ---------------------------------------------------------------------------
+
+std::vector<FakeConflictReport> analyze_fake_conflicts(const StateGraph& graph) {
+  const stg::Stg& stg = *graph.stg;
+  const pn::PetriNet& net = stg.net();
+
+  // Unordered structural conflict pairs.
+  std::set<std::pair<pn::TransitionId, pn::TransitionId>> pairs;
+  for (const pn::StructuralConflict& c : pn::structural_conflicts(net)) {
+    pairs.insert({std::min(c.t1, c.t2), std::max(c.t1, c.t2)});
+  }
+
+  std::vector<FakeConflictReport> result;
+  for (const auto& [t1, t2] : pairs) {
+    FakeConflictReport report;
+    report.t1 = t1;
+    report.t2 = t2;
+    const TransitionLabel& l1 = stg.label(t1);
+    const TransitionLabel& l2 = stg.label(t2);
+
+    for (std::size_t s = 0; s < graph.size(); ++s) {
+      if (!net.enabled(graph.markings[s], t1) ||
+          !net.enabled(graph.markings[s], t2)) {
+        continue;
+      }
+      // Fire t2: what happens to t1's signal?
+      const auto after2 = graph.successor(s, t2);
+      if (after2.has_value() && !l1.is_dummy()) {
+        bool other_same_label = false;
+        for (pn::TransitionId tk : graph.enabled_transitions(*after2)) {
+          if (tk == t1 || tk == t2) continue;
+          const TransitionLabel& lk = stg.label(tk);
+          if (!lk.is_dummy() && lk.signal == l1.signal && lk.dir == l1.dir) {
+            other_same_label = true;
+          }
+        }
+        if (other_same_label) report.fake_against_t1 = true;
+        if (!graph.signal_enabled(*after2, l1.signal)) report.disables_t1 = true;
+      }
+      // Fire t1: what happens to t2's signal?
+      const auto after1 = graph.successor(s, t1);
+      if (after1.has_value() && !l2.is_dummy()) {
+        bool other_same_label = false;
+        for (pn::TransitionId tk : graph.enabled_transitions(*after1)) {
+          if (tk == t1 || tk == t2) continue;
+          const TransitionLabel& lk = stg.label(tk);
+          if (!lk.is_dummy() && lk.signal == l2.signal && lk.dir == l2.dir) {
+            other_same_label = true;
+          }
+        }
+        if (other_same_label) report.fake_against_t2 = true;
+        if (!graph.signal_enabled(*after1, l2.signal)) report.disables_t2 = true;
+      }
+    }
+    result.push_back(report);
+  }
+  return result;
+}
+
+FakeFreedomResult check_fake_freedom(const StateGraph& graph) {
+  FakeFreedomResult result;
+  const stg::Stg& stg = *graph.stg;
+  for (const FakeConflictReport& report : analyze_fake_conflicts(graph)) {
+    const TransitionLabel& l1 = stg.label(report.t1);
+    const TransitionLabel& l2 = stg.label(report.t2);
+    const bool involves_noninput =
+        (!l1.is_dummy() && stg.is_noninput(l1.signal)) ||
+        (!l2.is_dummy() && stg.is_noninput(l2.signal));
+    if (report.symmetric_fake() ||
+        (report.asymmetric_fake() && involves_noninput)) {
+      result.fake_free = false;
+      result.offending.push_back(report);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Deadlocks
+// ---------------------------------------------------------------------------
+
+std::vector<std::size_t> find_deadlocks(const StateGraph& graph) {
+  std::vector<std::size_t> result;
+  for (std::size_t s = 0; s < graph.size(); ++s) {
+    if (graph.edges[s].empty()) result.push_back(s);
+  }
+  return result;
+}
+
+}  // namespace stgcheck::sg

@@ -1,0 +1,182 @@
+// Explicit (state-enumerating) implementations of every implementability
+// property of the paper, operating on the full state graph:
+//
+//   consistency (Def. 3.1), signal/transition persistency (Defs. 3.2/3.3),
+//   determinism and commutativity (Def. 3.5), USC/CSC (Def. 3.4) via
+//   excitation/quiescent regions, CSC-reducibility via frozen-input
+//   traversal (Sec. 5.3), fake conflicts (Def. 3.6, Sec. 5.4), deadlocks.
+//
+// These are the oracles for the symbolic engine in src/core: every
+// symbolic check has an explicit twin here with identical semantics, and
+// the cross-validation tests require their verdicts to agree on every
+// generator family. They are also the baseline timed by
+// bench/bench_explicit_vs_symbolic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace stgcheck::sg {
+
+// ---------------------------------------------------------------------------
+// Consistency
+// ---------------------------------------------------------------------------
+
+struct ConsistencyViolation {
+  std::size_t state;         ///< source state of the offending edge
+  pn::TransitionId transition;
+  std::string description;
+};
+
+struct ConsistencyResult {
+  bool consistent = true;
+  std::vector<ConsistencyViolation> violations;
+};
+
+/// Def. 3.1 on edges: a+ must leave a=0, a- must leave a=1; edges of other
+/// signals must not change a. Unknown source bits are reported as
+/// violations only when they make a rise/fall unverifiable is false — an
+/// unknown bit simply adopts the fired value (Sec. 5.1 semantics).
+ConsistencyResult check_consistency(const StateGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Persistency
+// ---------------------------------------------------------------------------
+
+struct PersistencyViolation {
+  std::size_t state;            ///< state where both were enabled
+  pn::TransitionId disabler;    ///< fired transition
+  stg::SignalId victim;         ///< signal that lost enabledness
+  bool victim_is_input = false;
+};
+
+struct PersistencyOptions {
+  /// Pairs of non-input signals allowed to disable each other (declared
+  /// arbitration points, the paper's footnote 1). Order-insensitive.
+  std::vector<std::pair<stg::SignalId, stg::SignalId>> arbitration_pairs;
+};
+
+struct PersistencyResult {
+  bool persistent = true;
+  std::vector<PersistencyViolation> violations;
+};
+
+/// Def. 3.2: (1) a non-input signal must not be disabled by any signal,
+/// (2) an input signal must not be disabled by a non-input signal.
+/// Input-disabled-by-input is a legal choice.
+PersistencyResult check_signal_persistency(const StateGraph& graph,
+                                           const PersistencyOptions& options = {});
+
+struct TransitionPersistencyViolation {
+  std::size_t state;
+  pn::TransitionId victim;
+  pn::TransitionId disabler;
+};
+
+/// Def. 3.3 (1): transition t_i enabled at m is disabled by firing t_j.
+/// Reports every (state, victim, disabler) triple, including input-input
+/// conflicts (which are legal choices at the signal level).
+std::vector<TransitionPersistencyViolation> check_transition_persistency(
+    const StateGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Determinism and commutativity
+// ---------------------------------------------------------------------------
+
+struct DeterminismViolation {
+  std::size_t state;
+  pn::TransitionId t1;
+  pn::TransitionId t2;  ///< same label as t1, both enabled at `state`
+};
+
+/// Def. 3.5 (1) in the paper's checkable form (Sec. 5.3): two transitions
+/// with the same label enabled in the same state.
+std::vector<DeterminismViolation> check_determinism(const StateGraph& graph);
+
+struct CommutativityViolation {
+  std::size_t state;
+  std::string label1;
+  std::string label2;
+};
+
+/// Def. 3.5 (2): for labels a*, b* both enabled at s, all states reached by
+/// a*b* and b*a* must coincide.
+std::vector<CommutativityViolation> check_commutativity(const StateGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Coding (USC / CSC)
+// ---------------------------------------------------------------------------
+
+struct CscViolation {
+  stg::SignalId signal;
+  std::size_t excited_state;    ///< in ER(signal+/-)
+  std::size_t quiescent_state;  ///< same code, in QR of the other polarity
+};
+
+struct CodingResult {
+  bool unique_state_coding = true;    ///< no two states share a code
+  bool complete_state_coding = true;  ///< Def. 3.4
+  std::vector<CscViolation> violations;
+};
+
+/// Def. 3.4 via the region formulation of Sec. 5.3: CSC(a) fails iff some
+/// code lies in ER(a+) n QR(a-) or ER(a-) n QR(a+), for non-input a.
+CodingResult check_coding(const StateGraph& graph);
+
+// ---------------------------------------------------------------------------
+// CSC reducibility (Sec. 5.3)
+// ---------------------------------------------------------------------------
+
+struct ReducibilityResult {
+  bool csc_satisfied = true;  ///< vacuously reducible when CSC holds
+  bool reducible = true;
+  /// Non-input signals whose CSC conflict is irreducible (a contradictory
+  /// quiescent state reaches a contradictory excited state through
+  /// input-only paths: mutually complementary input sequences).
+  std::vector<stg::SignalId> irreducible_signals;
+};
+
+ReducibilityResult check_csc_reducibility(const StateGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Fake conflicts (Def. 3.6, Sec. 5.4)
+// ---------------------------------------------------------------------------
+
+struct FakeConflictReport {
+  pn::TransitionId t1;
+  pn::TransitionId t2;
+  /// Firing t2 from a common enabling can hand t1's signal to another
+  /// transition (fake for t1), and vice versa.
+  bool fake_against_t1 = false;
+  bool fake_against_t2 = false;
+  /// Firing t2 can genuinely disable t1's signal, and vice versa.
+  bool disables_t1 = false;
+  bool disables_t2 = false;
+
+  bool symmetric_fake() const { return fake_against_t1 && fake_against_t2; }
+  bool asymmetric_fake() const { return fake_against_t1 != fake_against_t2; }
+};
+
+/// Analyzes every structural conflict pair on the reachable states.
+std::vector<FakeConflictReport> analyze_fake_conflicts(const StateGraph& graph);
+
+struct FakeFreedomResult {
+  bool fake_free = true;
+  std::vector<FakeConflictReport> offending;  ///< symmetric, or asymmetric with
+                                              ///< a non-input signal involved
+};
+
+/// Sec. 3.5: an STG is fake-free if it has no symmetric fake conflicts and
+/// no asymmetric fake conflicts involving a non-input signal.
+FakeFreedomResult check_fake_freedom(const StateGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Liveness
+// ---------------------------------------------------------------------------
+
+/// States with no enabled transitions.
+std::vector<std::size_t> find_deadlocks(const StateGraph& graph);
+
+}  // namespace stgcheck::sg

@@ -1,0 +1,167 @@
+#include "sg/state_graph.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+namespace stgcheck::sg {
+
+namespace {
+
+struct FullStateKey {
+  pn::Marking marking;
+  Code code;
+  friend bool operator==(const FullStateKey&, const FullStateKey&) = default;
+};
+
+struct FullStateHash {
+  std::size_t operator()(const FullStateKey& k) const {
+    std::size_t h = k.marking.hash();
+    for (std::uint8_t bit : k.code) {
+      h ^= bit + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Marking-level BFS to infer unknown initial signal values (Sec. 5.1):
+/// the first time a transition of signal s is seen enabled, the current
+/// (= initial, since no s-transition fired yet) value of s is implied.
+void infer_initial_values(const stg::Stg& stg, Code& initial) {
+  const pn::PetriNet& net = stg.net();
+  bool all_known = true;
+  for (std::uint8_t v : initial) all_known &= (v != kUnknown);
+  if (all_known) return;
+
+  std::deque<pn::Marking> frontier{net.initial_marking()};
+  std::unordered_set<pn::Marking, pn::MarkingHash> seen{net.initial_marking()};
+  std::size_t remaining = 0;
+  for (std::uint8_t v : initial) remaining += (v == kUnknown) ? 1 : 0;
+
+  std::size_t explored = 0;
+  constexpr std::size_t kInferenceCap = 200'000;
+  while (!frontier.empty() && remaining > 0 && explored < kInferenceCap) {
+    const pn::Marking m = frontier.front();
+    frontier.pop_front();
+    ++explored;
+    for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+      if (!net.enabled(m, t)) continue;
+      const stg::TransitionLabel& label = stg.label(t);
+      if (!label.is_dummy() && initial[label.signal] == kUnknown) {
+        initial[label.signal] = label.dir == stg::Dir::kPlus ? kZero : kOne;
+        --remaining;
+      }
+      pn::Marking next = net.fire(m, t);
+      if (next.max_tokens() <= 1 && seen.insert(next).second) {
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t StateGraph::distinct_markings() const {
+  std::unordered_set<pn::Marking, pn::MarkingHash> set(markings.begin(),
+                                                       markings.end());
+  return set.size();
+}
+
+std::size_t StateGraph::distinct_codes() const {
+  std::unordered_set<std::string> set;
+  for (std::size_t s = 0; s < size(); ++s) set.insert(code_string(s));
+  return set.size();
+}
+
+bool StateGraph::signal_enabled(std::size_t s, stg::SignalId signal) const {
+  const pn::PetriNet& net = stg->net();
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    if (stg->label(t).signal == signal && net.enabled(markings[s], t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<pn::TransitionId> StateGraph::enabled_transitions(std::size_t s) const {
+  return stg->net().enabled_transitions(markings[s]);
+}
+
+std::optional<std::size_t> StateGraph::successor(std::size_t s,
+                                                 pn::TransitionId t) const {
+  for (const SgEdge& e : edges[s]) {
+    if (e.transition == t) return e.target;
+  }
+  return std::nullopt;
+}
+
+std::string StateGraph::code_string(std::size_t s) const {
+  std::string text;
+  text.reserve(codes[s].size());
+  for (std::uint8_t bit : codes[s]) {
+    text += bit == kUnknown ? '*' : static_cast<char>('0' + bit);
+  }
+  return text;
+}
+
+StateGraph build_state_graph(const stg::Stg& stg, const StateGraphOptions& options) {
+  StateGraph graph;
+  graph.stg = std::make_shared<const stg::Stg>(stg);
+  const pn::PetriNet& net = graph.stg->net();
+
+  Code initial(stg.signal_count(), kUnknown);
+  for (stg::SignalId s = 0; s < stg.signal_count(); ++s) {
+    const std::optional<bool> v = stg.initial_value(s);
+    if (v.has_value()) initial[s] = *v ? kOne : kZero;
+  }
+  infer_initial_values(stg, initial);
+
+  std::unordered_map<FullStateKey, std::size_t, FullStateHash> index;
+  std::deque<std::size_t> frontier;
+
+  graph.markings.push_back(net.initial_marking());
+  graph.codes.push_back(initial);
+  graph.edges.emplace_back();
+  index.emplace(FullStateKey{net.initial_marking(), initial}, 0);
+  frontier.push_back(0);
+
+  while (!frontier.empty()) {
+    const std::size_t current = frontier.front();
+    frontier.pop_front();
+    const pn::Marking m = graph.markings[current];  // copy: vector may grow
+    const Code code = graph.codes[current];
+
+    for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+      if (!net.enabled(m, t)) continue;
+      pn::Marking next_m = net.fire(m, t);
+      if (next_m.max_tokens() > options.token_cap) {
+        graph.complete = false;
+        graph.incomplete_reason =
+            "token cap " + std::to_string(options.token_cap) + " exceeded";
+        return graph;
+      }
+      Code next_code = code;
+      const stg::TransitionLabel& label = stg.label(t);
+      if (!label.is_dummy()) {
+        next_code[label.signal] = label.dir == stg::Dir::kPlus ? kOne : kZero;
+      }
+      FullStateKey key{next_m, next_code};
+      auto [it, inserted] = index.emplace(std::move(key), graph.size());
+      if (inserted) {
+        if (graph.size() >= options.state_cap) {
+          graph.complete = false;
+          graph.incomplete_reason =
+              "state cap " + std::to_string(options.state_cap) + " exceeded";
+          return graph;
+        }
+        graph.markings.push_back(std::move(next_m));
+        graph.codes.push_back(std::move(next_code));
+        graph.edges.emplace_back();
+        frontier.push_back(it->second);
+      }
+      graph.edges[current].push_back(SgEdge{t, it->second});
+    }
+  }
+  return graph;
+}
+
+}  // namespace stgcheck::sg

@@ -1,0 +1,91 @@
+#include "sg/witnesses.hpp"
+
+#include <deque>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace stgcheck::sg {
+
+Trace trace_to_state(const StateGraph& graph, std::size_t state) {
+  if (state >= graph.size()) throw ModelError("witness: unknown state");
+  // BFS parents from the initial state (index 0).
+  std::vector<std::size_t> parent(graph.size(), SIZE_MAX);
+  std::vector<pn::TransitionId> via(graph.size(), pn::kNoId);
+  std::deque<std::size_t> frontier{0};
+  parent[0] = 0;
+  while (!frontier.empty() && parent[state] == SIZE_MAX) {
+    const std::size_t s = frontier.front();
+    frontier.pop_front();
+    for (const SgEdge& e : graph.edges[s]) {
+      if (parent[e.target] == SIZE_MAX) {
+        parent[e.target] = s;
+        via[e.target] = e.transition;
+        frontier.push_back(e.target);
+      }
+    }
+  }
+  if (parent[state] == SIZE_MAX) {
+    throw ModelError("witness: state unreachable from the initial state");
+  }
+  Trace reversed;
+  for (std::size_t s = state; s != 0; s = parent[s]) {
+    reversed.push_back(graph.stg->format_label(via[s]));
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+std::string format_trace(const Trace& trace) {
+  if (trace.empty()) return "(initial state)";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) out << " ; ";
+    out << trace[i];
+  }
+  return out.str();
+}
+
+std::string CscWitness::pretty(const stg::Stg& stg) const {
+  std::ostringstream out;
+  out << "CSC conflict on signal " << stg.signal_name(signal) << ", code "
+      << code << ":\n";
+  out << "  excited after:   " << format_trace(excited_trace) << "\n";
+  out << "  quiescent after: " << format_trace(quiescent_trace) << "\n";
+  return out.str();
+}
+
+std::vector<CscWitness> explain_csc_violations(const StateGraph& graph) {
+  std::vector<CscWitness> result;
+  for (const CscViolation& v : check_coding(graph).violations) {
+    CscWitness w;
+    w.signal = v.signal;
+    w.code = graph.code_string(v.excited_state);
+    w.excited_trace = trace_to_state(graph, v.excited_state);
+    w.quiescent_trace = trace_to_state(graph, v.quiescent_state);
+    result.push_back(std::move(w));
+  }
+  return result;
+}
+
+std::string PersistencyWitness::pretty(const stg::Stg& stg) const {
+  std::ostringstream out;
+  out << "signal " << stg.signal_name(victim) << " disabled by "
+      << disabler_label << " after: " << format_trace(trace_to_conflict) << "\n";
+  return out.str();
+}
+
+std::vector<PersistencyWitness> explain_persistency_violations(
+    const StateGraph& graph, const PersistencyOptions& options) {
+  std::vector<PersistencyWitness> result;
+  for (const PersistencyViolation& v :
+       check_signal_persistency(graph, options).violations) {
+    PersistencyWitness w;
+    w.victim = v.victim;
+    w.disabler_label = graph.stg->format_label(v.disabler);
+    w.trace_to_conflict = trace_to_state(graph, v.state);
+    result.push_back(std::move(w));
+  }
+  return result;
+}
+
+}  // namespace stgcheck::sg

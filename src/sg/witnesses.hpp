@@ -1,0 +1,51 @@
+// Diagnostic witnesses: human-readable firing traces that demonstrate a
+// reported violation. The paper's algorithms answer yes/no; a tool a
+// designer would adopt must also answer *why*. Traces are extracted from
+// the explicit full state graph (violations live in small prefixes of the
+// state space in practice; the symbolic checker finds them first, this
+// module explains them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sg/explicit_checks.hpp"
+#include "sg/state_graph.hpp"
+
+namespace stgcheck::sg {
+
+/// A firing sequence from the initial state, one label per step.
+using Trace = std::vector<std::string>;
+
+/// Shortest firing trace from the initial state to `state` (BFS over the
+/// full state graph).
+Trace trace_to_state(const StateGraph& graph, std::size_t state);
+
+/// Renders "a+ ; b- ; c+/2" style.
+std::string format_trace(const Trace& trace);
+
+/// Both sides of a CSC conflict: two traces reaching the two states that
+/// share a binary code but disagree on the excited non-input signal.
+struct CscWitness {
+  stg::SignalId signal = stg::kNoSignal;
+  std::string code;       ///< the shared binary code
+  Trace excited_trace;    ///< reaches the state with signal excited
+  Trace quiescent_trace;  ///< reaches the state with signal quiescent
+  std::string pretty(const stg::Stg& stg) const;
+};
+
+/// Witnesses for every CSC violation reported by check_coding.
+std::vector<CscWitness> explain_csc_violations(const StateGraph& graph);
+
+/// One persistency violation as a trace plus the offending step.
+struct PersistencyWitness {
+  stg::SignalId victim = stg::kNoSignal;
+  std::string disabler_label;
+  Trace trace_to_conflict;  ///< reaches the state where both were enabled
+  std::string pretty(const stg::Stg& stg) const;
+};
+
+std::vector<PersistencyWitness> explain_persistency_violations(
+    const StateGraph& graph, const PersistencyOptions& options = {});
+
+}  // namespace stgcheck::sg

@@ -1,0 +1,425 @@
+#include "stg/astg_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace stgcheck::stg {
+
+namespace {
+
+/// One node reference in the .graph section, resolved lazily: we must see
+/// all declarations before deciding whether a token is a place.
+struct GraphLine {
+  int line_number;
+  std::vector<std::string> tokens;
+};
+
+struct MarkingEntry {
+  int line_number;
+  std::string text;  // "p1", "<a+,b->", possibly with "=k" already split off
+  std::uint8_t tokens;
+};
+
+class AstgParser {
+ public:
+  explicit AstgParser(std::istream& in) : in_(in) {}
+
+  Stg run() {
+    read_sections();
+    declare_signals();
+    build_graph();
+    apply_marking();
+    apply_initial_values();
+    return std::move(stg_);
+  }
+
+ private:
+  // ---- Pass 1: collect the raw sections ---------------------------------
+
+  void read_sections() {
+    std::string raw;
+    int line_number = 0;
+    bool in_graph = false;
+    bool saw_end = false;
+    while (std::getline(in_, raw)) {
+      ++line_number;
+      std::string_view line = trim(raw);
+      // Strip comments ('#' anywhere, lines beginning with '.' keep dots).
+      const std::size_t hash = line.find('#');
+      if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+      if (line.empty()) continue;
+      if (saw_end) continue;  // ignore trailing junk after .end
+
+      if (line[0] == '.') {
+        in_graph = false;
+        auto tokens = split_ws(line);
+        const std::string& directive = tokens[0];
+        if (directive == ".model" || directive == ".name") {
+          if (tokens.size() >= 2) model_name_ = tokens[1];
+        } else if (directive == ".inputs") {
+          append(inputs_, tokens);
+        } else if (directive == ".outputs") {
+          append(outputs_, tokens);
+        } else if (directive == ".internal" || directive == ".int") {
+          append(internals_, tokens);
+        } else if (directive == ".dummy") {
+          append(dummies_, tokens);
+        } else if (directive == ".graph") {
+          in_graph = true;
+        } else if (directive == ".marking") {
+          parse_marking_line(line, line_number);
+        } else if (directive == ".initial_values") {
+          parse_initial_values(tokens, line_number);
+        } else if (directive == ".end") {
+          saw_end = true;
+        } else if (directive == ".capacity" || directive == ".coords" ||
+                   directive == ".slowenv" || directive == ".outputs_root") {
+          // Accepted and ignored: layout/extension directives.
+        } else {
+          throw ParseError("unknown directive " + directive, line_number);
+        }
+        continue;
+      }
+      if (!in_graph) {
+        throw ParseError("text outside any section: " + std::string(line),
+                         line_number);
+      }
+      graph_lines_.push_back(GraphLine{line_number, split_ws(line)});
+    }
+    if (!saw_end) {
+      // Tolerated: many benchmark files omit .end.
+    }
+  }
+
+  static void append(std::vector<std::string>& dst,
+                     const std::vector<std::string>& tokens) {
+    dst.insert(dst.end(), tokens.begin() + 1, tokens.end());
+  }
+
+  void parse_marking_line(std::string_view line, int line_number) {
+    const std::size_t open = line.find('{');
+    const std::size_t close = line.rfind('}');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      throw ParseError(".marking requires { ... }", line_number);
+    }
+    std::string body(line.substr(open + 1, close - open - 1));
+    // Tokens may be "p", "p=2", "<a+,b->", "<a+,b->=2". Angle brackets never
+    // contain spaces in the format, so whitespace splitting is safe.
+    for (const std::string& token : split_ws(body)) {
+      MarkingEntry entry;
+      entry.line_number = line_number;
+      entry.tokens = 1;
+      const std::size_t eq = token.rfind('=');
+      std::string name = token;
+      if (eq != std::string::npos && (token.empty() || token.back() != '>')) {
+        name = token.substr(0, eq);
+        const std::string count = token.substr(eq + 1);
+        int value = 0;
+        try {
+          value = std::stoi(count);
+        } catch (...) {
+          throw ParseError("bad token count in marking: " + token, line_number);
+        }
+        if (value < 0 || value > 255) {
+          throw ParseError("token count out of range: " + token, line_number);
+        }
+        entry.tokens = static_cast<std::uint8_t>(value);
+      }
+      entry.text = name;
+      marking_.push_back(entry);
+    }
+  }
+
+  void parse_initial_values(const std::vector<std::string>& tokens,
+                            int line_number) {
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::string& item = tokens[i];
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq + 2 != item.size() ||
+          (item[eq + 1] != '0' && item[eq + 1] != '1')) {
+        throw ParseError("expected name=0 or name=1, got " + item, line_number);
+      }
+      initial_values_.emplace_back(item.substr(0, eq), item[eq + 1] == '1');
+      initial_value_lines_.push_back(line_number);
+    }
+  }
+
+  // ---- Pass 2: declarations ---------------------------------------------
+
+  void declare_signals() {
+    stg_.set_name(model_name_);
+    for (const std::string& name : inputs_) {
+      stg_.add_signal(name, SignalKind::kInput);
+    }
+    for (const std::string& name : outputs_) {
+      stg_.add_signal(name, SignalKind::kOutput);
+    }
+    for (const std::string& name : internals_) {
+      stg_.add_signal(name, SignalKind::kInternal);
+    }
+  }
+
+  // ---- Pass 3: graph ------------------------------------------------------
+
+  bool is_dummy_name(const std::string& token) const {
+    for (const std::string& d : dummies_) {
+      if (d == token) return true;
+    }
+    return false;
+  }
+
+  /// Returns the transition for a label/dummy token, creating it on first
+  /// use; returns kNoId if the token is not a transition (i.e. a place).
+  pn::TransitionId transition_for(const std::string& token, int line_number) {
+    auto it = transition_by_token_.find(token);
+    if (it != transition_by_token_.end()) return it->second;
+
+    if (is_dummy_name(token)) {
+      const pn::TransitionId t = stg_.add_dummy(token);
+      transition_by_token_.emplace(token, t);
+      return t;
+    }
+    const std::optional<ParsedLabel> label = parse_label_text(token);
+    if (!label.has_value()) return pn::kNoId;
+    const SignalId signal = stg_.find_signal(label->signal);
+    if (signal == kNoSignal) {
+      // Looks like a transition but the signal is undeclared: the astg
+      // format requires declarations, so this is an error rather than an
+      // implicit place with a suspicious name.
+      throw ParseError("undeclared signal in transition " + token, line_number);
+    }
+    const pn::TransitionId t =
+        stg_.add_transition(signal, label->dir, label->instance);
+    transition_by_token_.emplace(token, t);
+    return t;
+  }
+
+  pn::PlaceId place_for(const std::string& token) {
+    auto it = place_by_token_.find(token);
+    if (it != place_by_token_.end()) return it->second;
+    const pn::PlaceId p = stg_.add_place(token, 0);
+    place_by_token_.emplace(token, p);
+    return p;
+  }
+
+  void build_graph() {
+    // First sweep: create every transition so arcs can reference them in
+    // any order; remember which tokens are places.
+    for (const GraphLine& line : graph_lines_) {
+      for (const std::string& token : line.tokens) {
+        if (transition_for(token, line.line_number) == pn::kNoId) {
+          place_for(token);
+        }
+      }
+    }
+    // Second sweep: arcs. Line "x y z" adds arcs x->y and x->z.
+    for (const GraphLine& line : graph_lines_) {
+      if (line.tokens.size() < 2) {
+        throw ParseError("graph line needs a source and at least one target",
+                         line.line_number);
+      }
+      const std::string& src = line.tokens[0];
+      for (std::size_t i = 1; i < line.tokens.size(); ++i) {
+        add_edge(src, line.tokens[i], line.line_number);
+      }
+    }
+  }
+
+  void add_edge(const std::string& from, const std::string& to, int line_number) {
+    const bool from_is_t = transition_by_token_.count(from) != 0;
+    const bool to_is_t = transition_by_token_.count(to) != 0;
+    if (from_is_t && to_is_t) {
+      const pn::TransitionId tf = transition_by_token_[from];
+      const pn::TransitionId tt = transition_by_token_[to];
+      const std::string name = "<" + from + "," + to + ">";
+      if (place_by_token_.count(name) != 0) {
+        throw ParseError("duplicate arc " + from + " -> " + to, line_number);
+      }
+      const pn::PlaceId p = stg_.add_place(name, 0);
+      place_by_token_.emplace(name, p);
+      implicit_places_.emplace(name, p);
+      stg_.arc_tp(tf, p);
+      stg_.arc_pt(p, tt);
+    } else if (from_is_t && !to_is_t) {
+      stg_.arc_tp(transition_by_token_[from], place_by_token_[to]);
+    } else if (!from_is_t && to_is_t) {
+      stg_.arc_pt(place_by_token_[from], transition_by_token_[to]);
+    } else {
+      throw ParseError("arc between two places: " + from + " -> " + to,
+                       line_number);
+    }
+  }
+
+  // ---- Pass 4: marking and values ----------------------------------------
+
+  void apply_marking() {
+    for (const MarkingEntry& entry : marking_) {
+      pn::PlaceId p = pn::kNoId;
+      if (!entry.text.empty() && entry.text.front() == '<') {
+        auto it = implicit_places_.find(entry.text);
+        if (it == implicit_places_.end()) {
+          throw ParseError("marking references unknown implicit place " +
+                           entry.text, entry.line_number);
+        }
+        p = it->second;
+      } else {
+        auto it = place_by_token_.find(entry.text);
+        if (it == place_by_token_.end()) {
+          throw ParseError("marking references unknown place " + entry.text,
+                           entry.line_number);
+        }
+        p = it->second;
+      }
+      stg_.net().set_initial_tokens(p, entry.tokens);
+    }
+  }
+
+  void apply_initial_values() {
+    for (std::size_t i = 0; i < initial_values_.size(); ++i) {
+      const auto& [name, value] = initial_values_[i];
+      const SignalId s = stg_.find_signal(name);
+      if (s == kNoSignal) {
+        throw ParseError("initial value for undeclared signal " + name,
+                         initial_value_lines_[i]);
+      }
+      stg_.set_initial_value(s, value);
+    }
+  }
+
+  std::istream& in_;
+  Stg stg_;
+
+  std::string model_name_ = "stg";
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<std::string> internals_;
+  std::vector<std::string> dummies_;
+  std::vector<GraphLine> graph_lines_;
+  std::vector<MarkingEntry> marking_;
+  std::vector<std::pair<std::string, bool>> initial_values_;
+  std::vector<int> initial_value_lines_;
+
+  std::map<std::string, pn::TransitionId> transition_by_token_;
+  std::map<std::string, pn::PlaceId> place_by_token_;
+  std::map<std::string, pn::PlaceId> implicit_places_;
+};
+
+}  // namespace
+
+Stg parse_astg(std::istream& in) { return AstgParser(in).run(); }
+
+Stg parse_astg_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_astg(in);
+}
+
+Stg parse_astg_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open file: " + path);
+  return parse_astg(in);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void write_astg(const Stg& stg, std::ostream& out) {
+  const pn::PetriNet& net = stg.net();
+  out << ".model " << stg.name() << "\n";
+
+  const auto write_signals = [&](const char* directive, SignalKind kind) {
+    const std::vector<SignalId> signals = stg.signals_of_kind(kind);
+    if (signals.empty()) return;
+    out << directive;
+    for (SignalId s : signals) out << " " << stg.signal_name(s);
+    out << "\n";
+  };
+  write_signals(".inputs", SignalKind::kInput);
+  write_signals(".outputs", SignalKind::kOutput);
+  write_signals(".internal", SignalKind::kInternal);
+
+  bool has_dummy = false;
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    if (stg.label(t).is_dummy()) {
+      if (!has_dummy) {
+        out << ".dummy";
+        has_dummy = true;
+      }
+      out << " " << net.transition_name(t);
+    }
+  }
+  if (has_dummy) out << "\n";
+
+  // A place is written implicitly (as a direct t -> t edge) when it has
+  // exactly one input and one output transition and an auto-generated name.
+  const auto is_implicit = [&](pn::PlaceId p) {
+    return net.place_name(p).front() == '<' &&
+           net.preset_of_place(p).size() == 1 &&
+           net.postset_of_place(p).size() == 1;
+  };
+
+  out << ".graph\n";
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    for (pn::PlaceId p : net.postset(t)) {
+      if (is_implicit(p)) {
+        out << net.transition_name(t) << " "
+            << net.transition_name(net.postset_of_place(p)[0]) << "\n";
+      } else {
+        out << net.transition_name(t) << " " << net.place_name(p) << "\n";
+      }
+    }
+  }
+  for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
+    if (is_implicit(p)) continue;
+    for (pn::TransitionId t : net.postset_of_place(p)) {
+      out << net.place_name(p) << " " << net.transition_name(t) << "\n";
+    }
+  }
+
+  // Marking.
+  const pn::Marking& m0 = net.initial_marking();
+  bool any_token = false;
+  std::ostringstream marking;
+  for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
+    if (m0.tokens(p) == 0) continue;
+    if (any_token) marking << " ";
+    any_token = true;
+    if (is_implicit(p)) {
+      marking << "<" << net.transition_name(net.preset_of_place(p)[0]) << ","
+              << net.transition_name(net.postset_of_place(p)[0]) << ">";
+    } else {
+      marking << net.place_name(p);
+    }
+    if (m0.tokens(p) != 1) marking << "=" << static_cast<int>(m0.tokens(p));
+  }
+  out << ".marking { " << marking.str() << " }\n";
+
+  // Initial values (non-standard extension; omitted when none are set).
+  std::ostringstream values;
+  bool any_value = false;
+  for (SignalId s = 0; s < stg.signal_count(); ++s) {
+    const std::optional<bool> v = stg.initial_value(s);
+    if (!v.has_value()) continue;
+    if (any_value) values << " ";
+    any_value = true;
+    values << stg.signal_name(s) << "=" << (*v ? 1 : 0);
+  }
+  if (any_value) out << ".initial_values " << values.str() << "\n";
+
+  out << ".end\n";
+}
+
+std::string write_astg_string(const Stg& stg) {
+  std::ostringstream out;
+  write_astg(stg, out);
+  return out.str();
+}
+
+}  // namespace stgcheck::stg

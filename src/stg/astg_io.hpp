@@ -1,0 +1,41 @@
+// Reader and writer for the petrify/SIS ".g" (astg) STG interchange
+// format, so the public benchmark suites run unchanged:
+//
+//   .model name
+//   .inputs  a b
+//   .outputs x y
+//   .internal u       (also accepted: .int)
+//   .dummy   d
+//   .graph
+//   a+ x+ d           # arcs from a+ to x+ and to d; implicit places
+//   p1 b+             # explicit place p1 feeds b+
+//   x+/2 p1
+//   .marking { p1 <a+,x+> p2=2 }
+//   .end
+//
+// Nodes in the .graph section are signal transition labels ("a+", "x-/2"),
+// dummy names, or explicit place names. Arcs between two transitions create
+// an implicit place named "<from,to>"; the .marking section can put tokens
+// on both explicit and implicit places ("name", "<t,t>", optionally "=k").
+// ".initial state" style extensions are not needed: initial signal values
+// are inferred during traversal per Sec. 5.1 of the paper, or can be given
+// with the non-standard directive ".initial_values a=1 b=0".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "stg/stg.hpp"
+
+namespace stgcheck::stg {
+
+/// Parses an STG from astg text. Throws ParseError on malformed input.
+Stg parse_astg(std::istream& in);
+Stg parse_astg_string(const std::string& text);
+Stg parse_astg_file(const std::string& path);
+
+/// Writes an STG in astg format (round-trips through parse_astg).
+void write_astg(const Stg& stg, std::ostream& out);
+std::string write_astg_string(const Stg& stg);
+
+}  // namespace stgcheck::stg

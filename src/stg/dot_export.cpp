@@ -1,0 +1,65 @@
+#include "stg/dot_export.hpp"
+
+#include <sstream>
+
+namespace stgcheck::stg {
+
+namespace {
+
+bool is_implicit(const pn::PetriNet& net, pn::PlaceId p) {
+  return !net.place_name(p).empty() && net.place_name(p).front() == '<' &&
+         net.preset_of_place(p).size() == 1 &&
+         net.postset_of_place(p).size() == 1;
+}
+
+}  // namespace
+
+std::string to_dot(const Stg& stg, const DotOptions& options) {
+  const pn::PetriNet& net = stg.net();
+  std::ostringstream out;
+  out << "digraph \"" << stg.name() << "\" {\n";
+  out << "  rankdir=" << (options.horizontal ? "LR" : "TB") << ";\n";
+  out << "  node [fontsize=11];\n";
+
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    const TransitionLabel& label = stg.label(t);
+    out << "  t" << t << " [shape=box, label=\"" << stg.format_label(t) << "\"";
+    if (label.is_dummy()) {
+      out << ", style=rounded";
+    } else if (stg.is_input(label.signal)) {
+      out << ", style=dashed";
+    }
+    out << "];\n";
+  }
+
+  for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
+    const bool marked = net.initial_marking().tokens(p) > 0;
+    if (options.collapse_implicit_places && is_implicit(net, p) && !marked) {
+      // Drawn as a direct transition-to-transition arc below.
+      continue;
+    }
+    out << "  p" << p << " [shape=circle, label=\""
+        << (is_implicit(net, p) ? "" : net.place_name(p)) << "\"";
+    if (marked) out << ", style=filled, fillcolor=black, fixedsize=true, width=0.15";
+    out << "];\n";
+  }
+
+  for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
+    const bool marked = net.initial_marking().tokens(p) > 0;
+    if (options.collapse_implicit_places && is_implicit(net, p) && !marked) {
+      out << "  t" << net.preset_of_place(p)[0] << " -> t"
+          << net.postset_of_place(p)[0] << ";\n";
+      continue;
+    }
+    for (pn::TransitionId t : net.preset_of_place(p)) {
+      out << "  t" << t << " -> p" << p << ";\n";
+    }
+    for (pn::TransitionId t : net.postset_of_place(p)) {
+      out << "  p" << p << " -> t" << t << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace stgcheck::stg

@@ -1,0 +1,23 @@
+// Graphviz rendering of STGs (and their underlying nets): places as
+// circles (filled when initially marked), transitions as boxes labelled
+// "a+/2", input signals dashed. Implicit places ("<a+,b->") are drawn as
+// plain arcs, matching the shorthand convention of the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "stg/stg.hpp"
+
+namespace stgcheck::stg {
+
+struct DotOptions {
+  /// Draw 1-in/1-out places with auto-generated names as direct arcs.
+  bool collapse_implicit_places = true;
+  /// Left-to-right layout instead of top-down.
+  bool horizontal = false;
+};
+
+/// The STG as a Graphviz digraph.
+std::string to_dot(const Stg& stg, const DotOptions& options = {});
+
+}  // namespace stgcheck::stg

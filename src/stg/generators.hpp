@@ -1,0 +1,109 @@
+// Scalable STG families for the paper's Table 1 plus the fixed nets used
+// in its figures and in our tests.
+//
+// The paper's examples are "scalable, in such a way that the number of
+// states of the system can be exponentially increased by iteratively
+// repeating a basic pattern" (Sec. 6). These generators produce the same
+// kind of structures:
+//
+//   * muller_pipeline(n)  - n-stage Muller C-element pipeline driven by one
+//                           environment input; a marked graph (the paper
+//                           notes "Muller's pipeline" is a marked graph).
+//                           States grow exponentially with n.
+//   * master_read(n)      - n overlapped 4-phase read handshakes chained as
+//                           a master would issue them; a marked graph (the
+//                           paper notes "master-read" is a marked graph).
+//   * mutex_arbiter(n)    - n-user mutual exclusion element; Fig. 1 is the
+//                           n = 2 instance. Conflict-rich: exercises the
+//                           persistency machinery and the arbitration
+//                           exemption of the paper's footnote 1.
+//   * select_chain(n)     - n free-choice input selections with reconverging
+//                           multi-instance output transitions; satisfies CSC
+//                           but not USC (distinct states share the all-zero
+//                           code), exercising Def. 3.4 case (2).
+#pragma once
+
+#include <cstddef>
+
+#include "stg/stg.hpp"
+
+namespace stgcheck::stg {
+
+/// n >= 1 pipeline stages. Signals: input "in", outputs "c1".."cn".
+Stg muller_pipeline(std::size_t n);
+
+/// n >= 1 read channels. Signals: outputs "r0".."r<n-1>" (requests),
+/// inputs "d0".."d<n-1>" (data-valid acknowledgements).
+Stg master_read(std::size_t n);
+
+/// n >= 1 users. Signals: inputs "r1".."rn" (requests), outputs "g1".."gn"
+/// (grants). One shared "free" place arbitrates: the g+ transitions are in
+/// direct conflict, which is a persistency violation unless arbitration is
+/// permitted.
+Stg mutex_arbiter(std::size_t n);
+
+/// n >= 1 stages. Signals per stage i: inputs "x<i>", "y<i>", output
+/// "z<i>". A single control token makes the state count linear in n.
+Stg select_chain(std::size_t n);
+
+namespace examples {
+
+/// Figure 1: the two-user mutual exclusion element (mutex_arbiter(2)).
+Stg mutex2();
+
+/// Figure 3, STG D1: transitions a1+/b2+ are in direct conflict (both
+/// non-persistent) but signals a and b stay persistent: firing a+ enables
+/// the other instance b+/2. Signals a, b, c; kinds are inputs by default
+/// (pass output_ab = true to make a and b outputs).
+Stg fig3_d1(bool output_ab = false);
+
+/// Figure 3, STG D2: plain concurrency between a+ and b+; same SG as D1.
+Stg fig3_d2(bool output_ab = false);
+
+/// Figure 4 left: an asymmetric fake conflict. Firing a+ keeps signal b
+/// enabled (through b+/2) but firing b+ disables signal a for good.
+Stg fake_asymmetric(bool output_ab = false);
+
+/// Sec. 3.1's inconsistency example: the sequence b+, a+, b+/2 is feasible,
+/// so b rises twice without falling.
+Stg inconsistent_rise_rise();
+
+/// A consistent but 2-bounded (unsafe) net: two tokens circulate in a
+/// four-phase ring.
+Stg unsafe_two_token_ring();
+
+/// Nondeterministic SG: two a+ transitions enabled in the same state lead
+/// to different successors (Def. 3.5 (1) violated).
+Stg nondeterministic_choice();
+
+/// Non-commutative SG via a symmetric fake conflict whose branches do not
+/// reconverge to the same marking (properties (1)-(3) of Sec. 3.5).
+Stg noncommutative_diamond();
+
+/// a+ -> b+ -> b- -> a- cycle (a input, b output): the canonical CSC
+/// violation. Irreducible under the paper's frozen-traversal criterion:
+/// the contradictory states are joined by an input-only path (a-, a+).
+Stg pulse_cycle();
+
+/// x+ -> y+ -> y- -> x- cycle with both signals outputs: same code clash
+/// as pulse_cycle, but reducible (no input-only path joins the
+/// contradictory states; an internal signal insertion resolves it).
+Stg output_cycle();
+
+/// The same cycle after inserting internal signal "u": satisfies CSC.
+/// Demonstrates what CSC-reducibility promises.
+Stg output_cycle_resolved();
+
+/// Mod-2 counter of input pulses: output y must rise on the second a+
+/// pulse. The two (a=1, x=1, y=0) states are joined by the input-only path
+/// a-, a+, so no internal signal can separate them: irreducible CSC.
+Stg input_pulse_counter();
+
+/// The VME bus controller read cycle (Chu '87 / petrify tutorial): inputs
+/// dsr, ldtack; outputs lds, d, dtack. Has the classic reducible CSC
+/// violation.
+Stg vme_read();
+
+}  // namespace examples
+
+}  // namespace stgcheck::stg

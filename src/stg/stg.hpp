@@ -1,0 +1,160 @@
+// Signal Transition Graphs (Def. 2.1): Petri nets whose transitions are
+// labelled with rising/falling transitions of circuit signals.
+//
+// D = (N, S_A, lambda): S_A is partitioned into input, output and internal
+// (hidden) signals; lambda maps each net transition to a signal transition
+// a+ / a- (with an instance index when a signal rises or falls more than
+// once, written "a+/2"). Dummy events (petrify's .dummy) are supported as
+// transitions with no signal: they move tokens but change no code bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/petri_net.hpp"
+
+namespace stgcheck::stg {
+
+using SignalId = std::uint32_t;
+inline constexpr SignalId kNoSignal = 0xFFFFFFFFu;
+
+/// Interface role of a signal (Def. 2.1: S_I, S_O, S_H).
+enum class SignalKind : std::uint8_t {
+  kInput,     ///< driven by the environment
+  kOutput,    ///< driven by the circuit, visible to the environment
+  kInternal,  ///< driven by the circuit, hidden from the environment
+};
+
+/// Direction of a signal transition.
+enum class Dir : std::uint8_t {
+  kPlus,   ///< rising, 0 -> 1
+  kMinus,  ///< falling, 1 -> 0
+};
+
+/// Label of a net transition: which signal moves, which way, which
+/// occurrence. Dummy events have signal == kNoSignal.
+struct TransitionLabel {
+  SignalId signal = kNoSignal;
+  Dir dir = Dir::kPlus;
+  std::uint32_t instance = 1;  ///< 1-based; "a+" is instance 1 of (a,+)
+
+  bool is_dummy() const { return signal == kNoSignal; }
+  friend bool operator==(const TransitionLabel&, const TransitionLabel&) = default;
+};
+
+/// An STG: a Petri net plus the signal alphabet and the labelling function.
+/// The underlying net is owned; transitions are created through this class
+/// so every one of them carries a label.
+class Stg {
+ public:
+  // ---- Signals ---------------------------------------------------------
+
+  /// Declares a signal; names must be unique, non-empty, and free of the
+  /// reserved characters '+', '-', '/', '<', '>', ',', '='.
+  SignalId add_signal(const std::string& name, SignalKind kind);
+  std::size_t signal_count() const { return signal_names_.size(); }
+  const std::string& signal_name(SignalId s) const { return signal_names_.at(s); }
+  SignalKind signal_kind(SignalId s) const { return signal_kinds_.at(s); }
+  /// Lookup by name; kNoSignal if absent.
+  SignalId find_signal(const std::string& name) const;
+  bool is_input(SignalId s) const { return signal_kind(s) == SignalKind::kInput; }
+  /// Non-input = produced by the circuit (output or internal).
+  bool is_noninput(SignalId s) const { return !is_input(s); }
+  /// All signals of the given kind.
+  std::vector<SignalId> signals_of_kind(SignalKind kind) const;
+  /// All non-input signals (outputs then internals, in id order).
+  std::vector<SignalId> noninput_signals() const;
+
+  // ---- Transitions and places ------------------------------------------
+
+  /// Adds a transition labelled (signal, dir); the instance index is
+  /// assigned automatically (next unused). The net transition is named
+  /// "a+" or "a+/2" accordingly.
+  pn::TransitionId add_transition(SignalId signal, Dir dir);
+  /// Adds a transition with an explicit instance index (parser use).
+  pn::TransitionId add_transition(SignalId signal, Dir dir, std::uint32_t instance);
+  /// Adds a dummy (unlabelled) event with the given unique name.
+  pn::TransitionId add_dummy(const std::string& name);
+
+  /// Adds an explicit place.
+  pn::PlaceId add_place(const std::string& name, std::uint8_t tokens = 0);
+  /// Adds an anonymous place between two transitions (an "implicit place",
+  /// drawn as a direct arc in shorthand STGs). Named "<from,to>".
+  pn::PlaceId connect(pn::TransitionId from, pn::TransitionId to,
+                      std::uint8_t tokens = 0);
+  /// Arc place -> transition. (PlaceId/TransitionId are integer aliases,
+  /// so the two directions need distinct names.)
+  void arc_pt(pn::PlaceId from, pn::TransitionId to);
+  /// Arc transition -> place.
+  void arc_tp(pn::TransitionId from, pn::PlaceId to);
+
+  const pn::PetriNet& net() const { return net_; }
+  pn::PetriNet& net() { return net_; }
+
+  // ---- Labels ------------------------------------------------------------
+
+  const TransitionLabel& label(pn::TransitionId t) const { return labels_.at(t); }
+  /// "a+", "b-/2", or the dummy name.
+  std::string format_label(pn::TransitionId t) const;
+  /// Every transition of a signal, in id order.
+  std::vector<pn::TransitionId> transitions_of_signal(SignalId s) const;
+  /// Every transition of (signal, dir), in id order.
+  std::vector<pn::TransitionId> transitions_of(SignalId s, Dir dir) const;
+  /// Lookup by label; pn::kNoId if absent.
+  pn::TransitionId find_transition(SignalId s, Dir dir, std::uint32_t instance) const;
+
+  // ---- Initial signal values ---------------------------------------------
+
+  /// Sets the value of a signal in the initial state. Signals left unset
+  /// are inferred during traversal (Sec. 5.1 of the paper) or rejected by
+  /// engines that need them.
+  void set_initial_value(SignalId s, bool value);
+  /// The initial value if known.
+  std::optional<bool> initial_value(SignalId s) const;
+  /// True if every signal has a known initial value.
+  bool all_initial_values_known() const;
+
+  // ---- Validation ----------------------------------------------------------
+
+  /// Structural sanity: net validates, every signal has at least one
+  /// transition, rising/falling instance counts are balanced per signal
+  /// (a necessary condition for consistency on cyclic nets is |a+| == |a-|;
+  /// unbalanced counts are allowed only if the net is acyclic, which this
+  /// check approximates by not enforcing balance — it only rejects signals
+  /// with no transitions at all).
+  void validate() const;
+
+  /// Name of the model (set by the parser, used by the writer).
+  const std::string& name() const { return name_; }
+  void set_name(const std::string& name) { name_ = name; }
+
+ private:
+  std::string label_string(SignalId signal, Dir dir, std::uint32_t instance) const;
+
+  pn::PetriNet net_;
+  std::string name_ = "stg";
+
+  std::vector<std::string> signal_names_;
+  std::vector<SignalKind> signal_kinds_;
+  std::unordered_map<std::string, SignalId> signal_index_;
+  std::vector<std::optional<bool>> initial_values_;
+
+  std::vector<TransitionLabel> labels_;  // indexed by TransitionId
+  // (signal, dir) -> number of instances created so far
+  std::vector<std::array<std::uint32_t, 2>> instance_counts_;
+};
+
+/// Parses "a+", "b-/2" against the STG's signal table.
+/// Returns nullopt if the text is not a signal transition label.
+struct ParsedLabel {
+  std::string signal;
+  Dir dir;
+  std::uint32_t instance;
+};
+std::optional<ParsedLabel> parse_label_text(const std::string& text);
+
+}  // namespace stgcheck::stg

@@ -1,0 +1,46 @@
+// Error types shared across the stgcheck library.
+//
+// All recoverable failures in stgcheck are reported as exceptions derived
+// from stgcheck::Error so that applications can catch one base type.
+// Programming errors (broken invariants) use assertions instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stgcheck {
+
+/// Base class of all stgcheck exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed model was constructed or queried (bad ids, unlabeled
+/// transitions, duplicate names, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Parsing a textual format (.g astg files) failed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("parse error at line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+
+  /// 1-based line number where the error was detected.
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// A resource limit was exceeded (explicit state cap, BDD node cap, ...).
+class LimitError : public Error {
+ public:
+  explicit LimitError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace stgcheck

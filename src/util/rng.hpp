@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generation for property tests and
+// randomised benchmarks. A thin wrapper over SplitMix64 so results are
+// reproducible across platforms and standard-library versions (std::mt19937
+// distributions are not portable between libstdc++/libc++).
+#pragma once
+
+#include <cstdint>
+
+namespace stgcheck {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform boolean.
+  bool flip() { return (next() & 1u) != 0; }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace stgcheck

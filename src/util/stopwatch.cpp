@@ -1,0 +1,3 @@
+#include "util/stopwatch.hpp"
+
+// Header-only for now; this translation unit anchors the library target.

@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by the implementability checker to report the
+// per-phase CPU times of the paper's Table 1 (T+C, NI-p, CSC, Total).
+#pragma once
+
+#include <chrono>
+
+namespace stgcheck {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds before the reset.
+  double restart() {
+    const double s = seconds();
+    start_ = Clock::now();
+    return s;
+  }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last restart().
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stgcheck

@@ -1,0 +1,56 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace stgcheck {
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) tokens.emplace_back(text.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string with_commas(unsigned long long value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_count(double value) {
+  if (!std::isfinite(value)) return "inf";
+  if (value < 1e15) {
+    return with_commas(static_cast<unsigned long long>(std::llround(value)));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3e", value);
+  return buf;
+}
+
+}  // namespace stgcheck

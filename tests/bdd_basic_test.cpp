@@ -1,0 +1,235 @@
+// Construction, handles, cubes, reference counting and garbage collection.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "util/error.hpp"
+
+namespace stgcheck::bdd {
+namespace {
+
+TEST(BddBasic, TerminalsAreDistinctAndFixed) {
+  Manager m;
+  EXPECT_TRUE(m.bdd_true().is_true());
+  EXPECT_TRUE(m.bdd_false().is_false());
+  EXPECT_NE(m.bdd_true(), m.bdd_false());
+  EXPECT_TRUE(m.bdd_true().is_terminal());
+}
+
+TEST(BddBasic, VariablesAreCanonical) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, m.var(0));
+  EXPECT_EQ(b, m.var(1));
+  EXPECT_EQ(m.var_name(0), "a");
+  EXPECT_EQ(m.var_name(1), "b");
+}
+
+TEST(BddBasic, DefaultVarNames) {
+  Manager m;
+  m.new_var();
+  EXPECT_EQ(m.var_name(0), "x0");
+}
+
+TEST(BddBasic, UnknownVariableThrows) {
+  Manager m;
+  EXPECT_THROW(m.var(0), ModelError);
+  m.new_var("a");
+  EXPECT_THROW(m.var(1), ModelError);
+  EXPECT_THROW(m.nvar(7), ModelError);
+}
+
+TEST(BddBasic, NegativeLiteral) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd na = m.nvar(0);
+  EXPECT_EQ(na, !a);
+  EXPECT_EQ(!na, a);
+}
+
+TEST(BddBasic, ReductionRules) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  // x ? f : f == f
+  EXPECT_EQ(m.ite(a, m.bdd_true(), m.bdd_true()), m.bdd_true());
+  // ite(f, 1, 0) == f
+  EXPECT_EQ(m.ite(a, m.bdd_true(), m.bdd_false()), a);
+}
+
+TEST(BddBasic, SharingIsCanonical) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd f1 = (a & b) | (!a & b);
+  EXPECT_EQ(f1, b);  // reduces to b exactly
+  Bdd f2 = a ^ b;
+  Bdd f3 = (a & !b) | (!a & b);
+  EXPECT_EQ(f2, f3);
+}
+
+TEST(BddBasic, CubeOfLiterals) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd c = m.new_var("c");
+  Bdd cube = m.cube({{0, true}, {2, false}});
+  EXPECT_EQ(cube, a & !c);
+  EXPECT_EQ(m.cube({}), m.bdd_true());
+  (void)b;
+}
+
+TEST(BddBasic, ContradictoryCubeIsFalse) {
+  Manager m;
+  m.new_var("a");
+  EXPECT_TRUE(m.cube({{0, true}, {0, false}}).is_false());
+}
+
+TEST(BddBasic, DuplicateConsistentLiteralIsFine) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  EXPECT_EQ(m.cube({{0, true}, {0, true}}), a);
+}
+
+TEST(BddBasic, PositiveCube) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  EXPECT_EQ(m.positive_cube({0, 1}), a & b);
+}
+
+TEST(BddBasic, CubeLiteralsRoundTrip) {
+  Manager m;
+  m.new_var("a");
+  m.new_var("b");
+  m.new_var("c");
+  CubeLiterals lits{{0, true}, {1, false}, {2, true}};
+  Bdd cube = m.cube(lits);
+  CubeLiterals back = m.cube_literals(cube);
+  EXPECT_EQ(back, lits);
+}
+
+TEST(BddBasic, CubeLiteralsRejectsNonCube) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  EXPECT_THROW(m.cube_literals(a | b), ModelError);
+  EXPECT_THROW(m.cube_literals(m.bdd_false()), ModelError);
+}
+
+TEST(BddBasic, CubeLiteralsOfTrueIsEmpty) {
+  Manager m;
+  EXPECT_TRUE(m.cube_literals(m.bdd_true()).empty());
+}
+
+TEST(BddBasic, HandleCopySemantics) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd copy = a;
+  EXPECT_EQ(copy, a);
+  Bdd moved = std::move(copy);
+  EXPECT_EQ(moved, a);
+  EXPECT_FALSE(copy.valid());  // NOLINT(bugprone-use-after-move): testing move semantics
+}
+
+TEST(BddBasic, SelfAssignment) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd& ref = a;
+  a = ref;
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, m.var(0));
+}
+
+TEST(BddBasic, GarbageCollectionReclaimsDeadNodes) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd c = m.new_var("c");
+  const std::size_t base = m.live_nodes();
+  {
+    Bdd tmp = (a & b) | (b & c) | (a ^ c);
+    EXPECT_GT(m.live_nodes(), base);
+  }
+  m.collect_garbage();
+  EXPECT_EQ(m.live_nodes(), base);
+}
+
+TEST(BddBasic, GcPreservesLiveFunctions) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd f = a ^ b;
+  m.collect_garbage();
+  // f must still be usable and canonical after collection.
+  EXPECT_EQ(f, a ^ b);
+  EXPECT_EQ(f & a, a & !b);
+}
+
+TEST(BddBasic, DeadNodesAreResurrectedBySharing) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  { Bdd dead = a & b; }
+  // The node for a&b is dead but still in the table; recreating it must not
+  // corrupt counts.
+  Bdd again = a & b;
+  m.collect_garbage();
+  EXPECT_EQ(again, a & b);
+}
+
+TEST(BddBasic, StatsReportVariablesAndNodes) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd f = a & b;
+  ManagerStats s = m.stats();
+  EXPECT_EQ(s.var_count, 2u);
+  EXPECT_GE(s.live_count, 3u);  // a, b, a&b
+  EXPECT_GE(s.peak_live, s.live_count);
+  (void)f;
+}
+
+TEST(BddBasic, NodeCountOfSharedGraph) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd f = a ^ b;           // 3 nodes: a-node and two b-nodes
+  EXPECT_EQ(m.count_nodes(f), 3u);
+  EXPECT_EQ(m.count_nodes(m.bdd_true()), 0u);
+  // Multi-root count shares: {f, a} adds only the single a node.
+  EXPECT_EQ(m.count_nodes({f, a}), 4u);
+}
+
+TEST(BddBasic, EvalWalksTheGraph) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd f = a & !b;
+  EXPECT_TRUE(m.eval(f, {true, false}));
+  EXPECT_FALSE(m.eval(f, {true, true}));
+  EXPECT_FALSE(m.eval(f, {false, false}));
+}
+
+TEST(BddBasic, ToDotContainsNodes) {
+  Manager m;
+  Bdd a = m.new_var("sig_a");
+  Bdd b = m.new_var("sig_b");
+  std::string dot = m.to_dot({{"f", a & b}});
+  EXPECT_NE(dot.find("sig_a"), std::string::npos);
+  EXPECT_NE(dot.find("sig_b"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(BddBasic, ToStringSmallFormulas) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  EXPECT_EQ(m.to_string(m.bdd_false()), "0");
+  EXPECT_EQ(m.to_string(m.bdd_true()), "1");
+  EXPECT_EQ(m.to_string(a & b), "a&b");
+  EXPECT_EQ(m.to_string(!a), "a'");
+}
+
+}  // namespace
+}  // namespace stgcheck::bdd

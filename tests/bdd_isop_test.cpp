@@ -1,0 +1,114 @@
+// Minato-Morreale ISOP: the generated cover must lie in [on, upper], be
+// irredundant, and the returned cover function must match the cube list.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace stgcheck::bdd {
+namespace {
+
+Bdd cover_to_bdd(Manager& m, const std::vector<CubeLiterals>& cover) {
+  Bdd f = m.bdd_false();
+  for (const CubeLiterals& c : cover) f |= m.cube(c);
+  return f;
+}
+
+TEST(BddIsop, ExactCoverOfXor) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd f = a ^ b;
+  Bdd fn;
+  auto cover = m.isop(f, f, &fn);
+  EXPECT_EQ(fn, f);
+  EXPECT_EQ(cover.size(), 2u);  // a&b' + a'&b is the unique ISOP of XOR
+  EXPECT_EQ(cover_to_bdd(m, cover), f);
+}
+
+TEST(BddIsop, TerminalCases) {
+  Manager m;
+  m.new_var("a");
+  Bdd fn;
+  EXPECT_TRUE(m.isop(m.bdd_false(), m.bdd_false(), &fn).empty());
+  EXPECT_TRUE(fn.is_false());
+  auto cover = m.isop(m.bdd_true(), m.bdd_true(), &fn);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_TRUE(cover[0].empty());  // the tautology cube
+  EXPECT_TRUE(fn.is_true());
+}
+
+TEST(BddIsop, RejectsInvalidInterval) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  EXPECT_THROW(m.isop(a, a & b, nullptr), ModelError);
+}
+
+TEST(BddIsop, DontCaresShrinkCover) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd c = m.new_var("c");
+  // onset: a&b&c. With don't care everywhere a is true, one literal suffices.
+  Bdd on = a & b & c;
+  Bdd upper = a;
+  Bdd fn;
+  auto cover = m.isop(on, upper, &fn);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].size(), 1u);
+  EXPECT_TRUE(on.implies(fn));
+  EXPECT_TRUE(fn.implies(upper));
+}
+
+class IsopRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsopRandom, CoverWithinIntervalAndIrredundant) {
+  Manager m;
+  constexpr std::size_t kVars = 6;
+  for (std::size_t v = 0; v < kVars; ++v) m.new_var("v" + std::to_string(v));
+  Rng rng(GetParam());
+
+  // Random onset and a random superset as upper bound.
+  Bdd on = m.bdd_false();
+  for (int i = 0; i < 5; ++i) {
+    Bdd term = m.bdd_true();
+    for (Var v = 0; v < kVars; ++v) {
+      if (rng.below(2) == 0) term &= rng.flip() ? m.var(v) : !m.var(v);
+    }
+    on |= term;
+  }
+  Bdd dc = m.bdd_false();
+  for (int i = 0; i < 3; ++i) {
+    Bdd term = m.bdd_true();
+    for (Var v = 0; v < kVars; ++v) {
+      if (rng.below(2) == 0) term &= rng.flip() ? m.var(v) : !m.var(v);
+    }
+    dc |= term;
+  }
+  Bdd upper = on | dc;
+
+  Bdd fn;
+  auto cover = m.isop(on, upper, &fn);
+
+  // Interval containment.
+  EXPECT_TRUE(on.implies(fn));
+  EXPECT_TRUE(fn.implies(upper));
+  // Cube list matches the returned function.
+  EXPECT_EQ(cover_to_bdd(m, cover), fn);
+  // Irredundancy: removing any single cube uncovers part of the onset.
+  for (std::size_t skip = 0; skip < cover.size(); ++skip) {
+    Bdd partial = m.bdd_false();
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      if (i != skip) partial |= m.cube(cover[i]);
+    }
+    EXPECT_FALSE(on.implies(partial)) << "cube " << skip << " is redundant";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsopRandom,
+                         ::testing::Values(7u, 11u, 17u, 23u, 31u, 47u));
+
+}  // namespace
+}  // namespace stgcheck::bdd

@@ -1,0 +1,143 @@
+// Algebraic properties of the symbolic image/preimage operators on real
+// reachable sets, swept over every transition of several nets.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/traversal.hpp"
+#include "stg/generators.hpp"
+
+namespace stgcheck::core {
+namespace {
+
+using bdd::Bdd;
+
+class ImageProperties : public ::testing::TestWithParam<int> {
+ protected:
+  static stg::Stg make(int index) {
+    switch (index) {
+      case 0: return stg::muller_pipeline(4);
+      case 1: return stg::master_read(3);
+      case 2: return stg::mutex_arbiter(3);
+      case 3: return stg::select_chain(2);
+      default: return stg::examples::vme_read();
+    }
+  }
+
+  void SetUp() override {
+    net = std::make_unique<stg::Stg>(make(GetParam()));
+    sym = std::make_unique<SymbolicStg>(*net);
+    traversal = traverse(*sym);
+    ASSERT_TRUE(traversal.ok());
+  }
+
+  /// The subset of `states` from which t actually fires: enabled, with the
+  /// fired signal at its pre-transition value.
+  Bdd fireable(pn::TransitionId t, const Bdd& states) {
+    Bdd result = states & sym->enabling_cube(t);
+    const stg::TransitionLabel& label = net->label(t);
+    if (!label.is_dummy()) {
+      const Bdd sig = sym->signal(label.signal);
+      result &= label.dir == stg::Dir::kPlus ? !sig : sig;
+    }
+    return result;
+  }
+
+  std::unique_ptr<stg::Stg> net;
+  std::unique_ptr<SymbolicStg> sym;
+  TraversalResult traversal;
+};
+
+TEST_P(ImageProperties, ImageStaysWithinReached) {
+  // R is a fixed point: delta(R, t) <= R for every t.
+  for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
+    EXPECT_TRUE(sym->image(traversal.reached, t).implies(traversal.reached))
+        << net->format_label(t);
+  }
+}
+
+TEST_P(ImageProperties, PreimageInvertsImageExactly) {
+  // preimage(image(S, t), t) == fireable part of S, per transition, for
+  // S = Reached (the per-transition successor map is injective on
+  // consistent safe states).
+  for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
+    const Bdd forward = sym->image(traversal.reached, t);
+    EXPECT_EQ(sym->preimage(forward, t), fireable(t, traversal.reached))
+        << net->format_label(t);
+  }
+}
+
+TEST_P(ImageProperties, ImageInvertsPreimageExactly) {
+  for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
+    const Bdd backward = sym->preimage(traversal.reached, t);
+    // Every pre-state fires into reached; firing it must land exactly on
+    // the states whose preimage was non-empty.
+    EXPECT_EQ(sym->image(backward, t),
+              sym->image(fireable(t, backward), t))
+        << net->format_label(t);
+    EXPECT_TRUE(sym->image(backward, t).implies(traversal.reached));
+  }
+}
+
+TEST_P(ImageProperties, ImageIsMonotoneAndAdditive) {
+  // delta(A u B) == delta(A) u delta(B): the image distributes over union.
+  const std::vector<bdd::Var> all_vars = [&] {
+    std::vector<bdd::Var> vars = sym->place_var_list();
+    const auto signals = sym->signal_var_list();
+    vars.insert(vars.end(), signals.begin(), signals.end());
+    return vars;
+  }();
+  // Split the reached set into one state and the rest.
+  const Bdd one = sym->manager().pick_one_minterm(traversal.reached, all_vars);
+  const Bdd rest = traversal.reached.minus(one);
+  for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
+    EXPECT_EQ(sym->image(traversal.reached, t),
+              sym->image(one, t) | sym->image(rest, t))
+        << net->format_label(t);
+  }
+}
+
+TEST_P(ImageProperties, StateCountsConserveOverImage) {
+  // The image of the fireable part has exactly as many states (the
+  // per-transition map is a bijection between fireable states and their
+  // successors).
+  for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
+    const Bdd source = fireable(t, traversal.reached);
+    const Bdd target = sym->image(traversal.reached, t);
+    EXPECT_DOUBLE_EQ(sym->count_states(source), sym->count_states(target))
+        << net->format_label(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nets, ImageProperties, ::testing::Range(0, 5));
+
+TEST(OrderingVariants, ClusteredAgreesWithInterleaved) {
+  for (const stg::Stg& s :
+       {stg::master_read(4), stg::muller_pipeline(6), stg::mutex_arbiter(4)}) {
+    SymbolicStg a(s, Ordering::kInterleaved);
+    SymbolicStg b(s, Ordering::kClustered);
+    TraversalResult ra = traverse(a);
+    TraversalResult rb = traverse(b);
+    EXPECT_DOUBLE_EQ(ra.stats.states, rb.stats.states) << s.name();
+    EXPECT_EQ(ra.ok(), rb.ok());
+  }
+}
+
+TEST(AutoSift, OnAndOffAgree) {
+  stg::Stg s = stg::master_read(5);
+  SymbolicStg with(s);
+  SymbolicStg without(s);
+  TraversalOptions opt_on;
+  opt_on.auto_sift = true;
+  opt_on.auto_sift_threshold = 100;  // force reordering activity
+  TraversalOptions opt_off;
+  opt_off.auto_sift = false;
+  TraversalResult r_on = traverse(with, opt_on);
+  TraversalResult r_off = traverse(without, opt_off);
+  EXPECT_TRUE(r_on.ok());
+  EXPECT_DOUBLE_EQ(r_on.stats.states, r_off.stats.states);
+  EXPECT_DOUBLE_EQ(r_on.stats.markings, r_off.stats.markings);
+}
+
+}  // namespace
+}  // namespace stgcheck::core

@@ -1,0 +1,148 @@
+// Complex-gate derivation: covers must implement the next-state function
+// of every non-input signal, verified by simulation against the explicit
+// state graph.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/traversal.hpp"
+#include "logic/logic.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/generators.hpp"
+
+namespace stgcheck::logic {
+namespace {
+
+struct Derived {
+  std::unique_ptr<core::SymbolicStg> sym;
+  core::TraversalResult traversal;
+  LogicResult logic;
+};
+
+Derived derive(const stg::Stg& s) {
+  Derived d;
+  d.sym = std::make_unique<core::SymbolicStg>(s);
+  d.traversal = core::traverse(*d.sym);
+  EXPECT_TRUE(d.traversal.ok()) << s.name();
+  d.logic = derive_logic(*d.sym, d.traversal.reached);
+  return d;
+}
+
+/// The specified next value of signal a in a state: 1 if a is excited to
+/// rise or stably high.
+bool next_value(const sg::StateGraph& g, std::size_t state, stg::SignalId a) {
+  bool plus = false;
+  bool minus = false;
+  for (pn::TransitionId t : g.enabled_transitions(state)) {
+    const stg::TransitionLabel& l = g.stg->label(t);
+    if (l.is_dummy() || l.signal != a) continue;
+    (l.dir == stg::Dir::kPlus ? plus : minus) = true;
+  }
+  if (plus) return true;
+  if (minus) return false;
+  return g.codes[state][a] == sg::kOne;
+}
+
+void check_by_simulation(const stg::Stg& s) {
+  Derived d = derive(s);
+  ASSERT_TRUE(d.logic.all_derivable) << s.name();
+  sg::StateGraph g = sg::build_state_graph(s);
+  ASSERT_TRUE(g.complete);
+  for (const GateEquation& eq : d.logic.equations) {
+    ASSERT_TRUE(eq.derivable);
+    for (std::size_t state = 0; state < g.size(); ++state) {
+      std::vector<bool> code(s.signal_count());
+      for (stg::SignalId sig = 0; sig < s.signal_count(); ++sig) {
+        ASSERT_NE(g.codes[state][sig], sg::kUnknown);
+        code[sig] = g.codes[state][sig] == sg::kOne;
+      }
+      EXPECT_EQ(eval_equation(*d.sym, eq, code), next_value(g, state, eq.signal))
+          << s.name() << " signal " << s.signal_name(eq.signal) << " state "
+          << g.code_string(state);
+    }
+  }
+}
+
+TEST(Logic, MullerPipelineGates) { check_by_simulation(stg::muller_pipeline(3)); }
+
+TEST(Logic, MasterReadGates) { check_by_simulation(stg::master_read(2)); }
+
+TEST(Logic, SelectChainGates) { check_by_simulation(stg::select_chain(2)); }
+
+TEST(Logic, ResolvedOutputCycleGates) {
+  check_by_simulation(stg::examples::output_cycle_resolved());
+}
+
+TEST(Logic, MutexGatesWithArbitration) {
+  // Persistency needs the arbitration waiver, but logic derivation only
+  // needs CSC, which mutex satisfies.
+  check_by_simulation(stg::examples::mutex2());
+}
+
+TEST(Logic, MullerStageIsCElement) {
+  // A middle pipeline stage must derive the Muller C-element equation:
+  // ci = ci-1 & ci+1' + ci & (ci-1 + ci+1') -- i.e. majority-like.
+  Derived d = derive(stg::muller_pipeline(3));
+  const stg::Stg& s = d.sym->stg();
+  const GateEquation* c2 = nullptr;
+  for (const GateEquation& eq : d.logic.equations) {
+    if (s.signal_name(eq.signal) == "c2") c2 = &eq;
+  }
+  ASSERT_NE(c2, nullptr);
+  // Check the C-element truth table on the triple (c1, c2, c3).
+  const stg::SignalId c1 = s.find_signal("c1");
+  const stg::SignalId c2s = s.find_signal("c2");
+  const stg::SignalId c3 = s.find_signal("c3");
+  const auto value = [&](bool v1, bool v2, bool v3) {
+    std::vector<bool> code(s.signal_count(), false);
+    code[c1] = v1;
+    code[c2s] = v2;
+    code[c3] = v3;
+    return eval_equation(*d.sym, *c2, code);
+  };
+  EXPECT_TRUE(value(true, false, false));    // set: prev full, next empty
+  EXPECT_FALSE(value(false, true, true));    // reset: prev empty, next full
+  EXPECT_TRUE(value(true, true, false));     // hold high
+  EXPECT_FALSE(value(false, false, true));   // hold low
+}
+
+TEST(Logic, CscViolationBlocksDerivation) {
+  Derived d = derive(stg::examples::pulse_cycle());
+  EXPECT_FALSE(d.logic.all_derivable);
+  ASSERT_EQ(d.logic.equations.size(), 1u);  // only signal b is non-input
+  EXPECT_FALSE(d.logic.equations[0].derivable);
+  EXPECT_NE(d.logic.netlist().find("not derivable"), std::string::npos);
+}
+
+TEST(Logic, NetlistFormat) {
+  Derived d = derive(stg::muller_pipeline(2));
+  const std::string netlist = d.logic.netlist();
+  EXPECT_NE(netlist.find("c1 = "), std::string::npos);
+  EXPECT_NE(netlist.find("c2 = "), std::string::npos);
+  for (const GateEquation& eq : d.logic.equations) {
+    EXPECT_GT(eq.literal_count, 0u);
+    EXPECT_FALSE(eq.cover.empty());
+  }
+}
+
+TEST(Logic, CoversAreIrredundant) {
+  Derived d = derive(stg::examples::mutex2());
+  bdd::Manager& m = d.sym->manager();
+  for (const GateEquation& eq : d.logic.equations) {
+    ASSERT_TRUE(eq.derivable);
+    const core::SignalRegions r =
+        core::signal_regions(*d.sym, d.traversal.reached, eq.signal);
+    const bdd::Bdd on = r.er_plus | r.qr_plus;
+    for (std::size_t skip = 0; skip < eq.cover.size(); ++skip) {
+      bdd::Bdd partial = m.bdd_false();
+      for (std::size_t i = 0; i < eq.cover.size(); ++i) {
+        if (i != skip) partial |= m.cube(eq.cover[i]);
+      }
+      EXPECT_FALSE(on.implies(partial))
+          << "redundant cube in " << eq.text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stgcheck::logic

@@ -1,0 +1,185 @@
+// Net construction, marking semantics, firing rules and validation.
+#include <gtest/gtest.h>
+
+#include "petri/petri_net.hpp"
+#include "util/error.hpp"
+
+namespace stgcheck::pn {
+namespace {
+
+/// p0 -> t0 -> p1 -> t1 -> p0 (a 2-place cycle with one token).
+PetriNet ring2() {
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 1);
+  PlaceId p1 = net.add_place("p1", 0);
+  TransitionId t0 = net.add_transition("t0");
+  TransitionId t1 = net.add_transition("t1");
+  net.add_arc_pt(p0, t0);
+  net.add_arc_tp(t0, p1);
+  net.add_arc_pt(p1, t1);
+  net.add_arc_tp(t1, p0);
+  return net;
+}
+
+TEST(PetriNet, AddAndLookup) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  TransitionId t = net.add_transition("t");
+  EXPECT_EQ(net.place_count(), 1u);
+  EXPECT_EQ(net.transition_count(), 1u);
+  EXPECT_EQ(net.find_place("p"), p);
+  EXPECT_EQ(net.find_transition("t"), t);
+  EXPECT_EQ(net.find_place("missing"), kNoId);
+  EXPECT_EQ(net.find_transition("missing"), kNoId);
+  EXPECT_EQ(net.place_name(p), "p");
+  EXPECT_EQ(net.transition_name(t), "t");
+}
+
+TEST(PetriNet, DuplicateNamesRejected) {
+  PetriNet net;
+  net.add_place("p");
+  net.add_transition("t");
+  EXPECT_THROW(net.add_place("p"), ModelError);
+  EXPECT_THROW(net.add_transition("t"), ModelError);
+  EXPECT_THROW(net.add_place(""), ModelError);
+  EXPECT_THROW(net.add_transition(""), ModelError);
+}
+
+TEST(PetriNet, DuplicateArcsRejected) {
+  PetriNet net;
+  PlaceId p = net.add_place("p");
+  TransitionId t = net.add_transition("t");
+  net.add_arc_pt(p, t);
+  EXPECT_THROW(net.add_arc_pt(p, t), ModelError);
+  net.add_arc_tp(t, p);
+  EXPECT_THROW(net.add_arc_tp(t, p), ModelError);
+}
+
+TEST(PetriNet, ArcToUnknownIdRejected) {
+  PetriNet net;
+  PlaceId p = net.add_place("p");
+  TransitionId t = net.add_transition("t");
+  EXPECT_THROW(net.add_arc_pt(PlaceId{5}, t), ModelError);
+  EXPECT_THROW(net.add_arc_tp(t, PlaceId{5}), ModelError);
+  EXPECT_THROW(net.add_arc_pt(p, TransitionId{5}), ModelError);
+}
+
+TEST(PetriNet, PresetPostsetAdjacency) {
+  PetriNet net = ring2();
+  TransitionId t0 = net.find_transition("t0");
+  PlaceId p0 = net.find_place("p0");
+  PlaceId p1 = net.find_place("p1");
+  ASSERT_EQ(net.preset(t0).size(), 1u);
+  EXPECT_EQ(net.preset(t0)[0], p0);
+  ASSERT_EQ(net.postset(t0).size(), 1u);
+  EXPECT_EQ(net.postset(t0)[0], p1);
+  ASSERT_EQ(net.postset_of_place(p0).size(), 1u);
+  EXPECT_EQ(net.postset_of_place(p0)[0], t0);
+  ASSERT_EQ(net.preset_of_place(p0).size(), 1u);
+  EXPECT_EQ(net.preset_of_place(p0)[0], net.find_transition("t1"));
+}
+
+TEST(PetriNet, EnablingAndFiring) {
+  PetriNet net = ring2();
+  TransitionId t0 = net.find_transition("t0");
+  TransitionId t1 = net.find_transition("t1");
+  const Marking& m0 = net.initial_marking();
+  EXPECT_TRUE(net.enabled(m0, t0));
+  EXPECT_FALSE(net.enabled(m0, t1));
+
+  Marking m1 = net.fire(m0, t0);
+  EXPECT_EQ(m1.tokens(net.find_place("p0")), 0);
+  EXPECT_EQ(m1.tokens(net.find_place("p1")), 1);
+  EXPECT_TRUE(net.enabled(m1, t1));
+
+  Marking m2 = net.fire(m1, t1);
+  EXPECT_EQ(m2, m0);  // back to the start
+}
+
+TEST(PetriNet, FiringDisabledThrows) {
+  PetriNet net = ring2();
+  TransitionId t1 = net.find_transition("t1");
+  EXPECT_THROW(net.fire(net.initial_marking(), t1), ModelError);
+}
+
+TEST(PetriNet, BackwardFiringInvertsForward) {
+  PetriNet net = ring2();
+  TransitionId t0 = net.find_transition("t0");
+  const Marking& m0 = net.initial_marking();
+  Marking m1 = net.fire(m0, t0);
+  EXPECT_TRUE(net.backward_enabled(m1, t0));
+  EXPECT_FALSE(net.backward_enabled(m0, t0));
+  EXPECT_EQ(net.fire_backward(m1, t0), m0);
+}
+
+TEST(PetriNet, EnabledTransitionsList) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  TransitionId a = net.add_transition("a");
+  TransitionId b = net.add_transition("b");
+  net.add_arc_pt(p, a);
+  net.add_arc_pt(p, b);
+  net.add_arc_tp(a, p);
+  net.add_arc_tp(b, p);
+  auto enabled = net.enabled_transitions(net.initial_marking());
+  ASSERT_EQ(enabled.size(), 2u);
+  EXPECT_EQ(enabled[0], a);
+  EXPECT_EQ(enabled[1], b);
+}
+
+TEST(PetriNet, ValidateRejectsEmptyPreset) {
+  PetriNet net;
+  net.add_place("p");
+  TransitionId t = net.add_transition("t");
+  net.add_arc_tp(t, PlaceId{0});
+  EXPECT_THROW(net.validate(), ModelError);
+}
+
+TEST(PetriNet, ValidateAcceptsWellFormed) {
+  PetriNet net = ring2();
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(PetriNet, InitialMarkingUpdates) {
+  PetriNet net = ring2();
+  Marking m(net.place_count());
+  m.set_tokens(net.find_place("p1"), 1);
+  net.set_initial_marking(m);
+  EXPECT_EQ(net.initial_marking().tokens(net.find_place("p1")), 1);
+  EXPECT_EQ(net.initial_marking().tokens(net.find_place("p0")), 0);
+
+  net.set_initial_tokens(net.find_place("p0"), 2);
+  EXPECT_EQ(net.initial_marking().tokens(net.find_place("p0")), 2);
+
+  Marking wrong(1);
+  EXPECT_THROW(net.set_initial_marking(wrong), ModelError);
+}
+
+TEST(Marking, DominationAndCounts) {
+  Marking a(3);
+  a.set_tokens(0, 1);
+  a.set_tokens(1, 2);
+  Marking b(3);
+  b.set_tokens(0, 1);
+  b.set_tokens(1, 1);
+  EXPECT_TRUE(a.strictly_dominates(b));
+  EXPECT_FALSE(b.strictly_dominates(a));
+  EXPECT_FALSE(a.strictly_dominates(a));  // needs strict inequality
+  EXPECT_EQ(a.total_tokens(), 3u);
+  EXPECT_EQ(a.max_tokens(), 2);
+}
+
+TEST(Marking, HashDistinguishesAndAgrees) {
+  Marking a(2);
+  a.set_tokens(0, 1);
+  Marking b(2);
+  b.set_tokens(1, 1);
+  EXPECT_NE(a, b);
+  Marking a2(2);
+  a2.set_tokens(0, 1);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(a.hash(), a2.hash());
+}
+
+}  // namespace
+}  // namespace stgcheck::pn

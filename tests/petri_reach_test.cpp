@@ -1,0 +1,222 @@
+// Explicit reachability, boundedness and structural analysis.
+#include <gtest/gtest.h>
+
+#include "petri/petri_net.hpp"
+#include "petri/reachability.hpp"
+#include "petri/structural.hpp"
+
+namespace stgcheck::pn {
+namespace {
+
+/// A pipeline of n independent 2-place rings: 2^n reachable markings... no,
+/// n independent rings each with 2 states: 2^n markings total.
+PetriNet independent_rings(std::size_t n) {
+  PetriNet net;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string s = std::to_string(i);
+    PlaceId p0 = net.add_place("p" + s + "_0", 1);
+    PlaceId p1 = net.add_place("p" + s + "_1", 0);
+    TransitionId t0 = net.add_transition("t" + s + "_0");
+    TransitionId t1 = net.add_transition("t" + s + "_1");
+    net.add_arc_pt(p0, t0);
+    net.add_arc_tp(t0, p1);
+    net.add_arc_pt(p1, t1);
+    net.add_arc_tp(t1, p0);
+  }
+  return net;
+}
+
+/// An unbounded producer: t consumes from p (self-replenishing) and pumps q.
+PetriNet unbounded_producer() {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId q = net.add_place("q", 0);
+  TransitionId t = net.add_transition("t");
+  net.add_arc_pt(p, t);
+  net.add_arc_tp(t, p);
+  net.add_arc_tp(t, q);
+  return net;
+}
+
+TEST(Reachability, SingleRing) {
+  PetriNet net = independent_rings(1);
+  ReachabilityGraph g = explore(net);
+  EXPECT_TRUE(g.complete);
+  EXPECT_EQ(g.size(), 2u);
+  // Each marking has exactly one successor.
+  EXPECT_EQ(g.edges[0].size(), 1u);
+  EXPECT_EQ(g.edges[1].size(), 1u);
+  EXPECT_EQ(g.edges[0][0].target, 1u);
+  EXPECT_EQ(g.edges[1][0].target, 0u);
+}
+
+TEST(Reachability, ProductOfRingsIsExponential) {
+  for (std::size_t n : {2u, 4u, 6u, 8u}) {
+    PetriNet net = independent_rings(n);
+    ReachabilityGraph g = explore(net);
+    EXPECT_TRUE(g.complete);
+    EXPECT_EQ(g.size(), std::size_t{1} << n) << "n=" << n;
+  }
+}
+
+TEST(Reachability, IndexOfFindsMarkings) {
+  PetriNet net = independent_rings(1);
+  ReachabilityGraph g = explore(net);
+  EXPECT_EQ(g.index_of(net.initial_marking()), std::optional<std::size_t>{0});
+  Marking unreached(2);  // no tokens anywhere is unreachable here
+  EXPECT_FALSE(g.index_of(unreached).has_value());
+}
+
+TEST(Reachability, StateCapAborts) {
+  PetriNet net = independent_rings(8);
+  ExploreOptions opts;
+  opts.state_cap = 10;
+  ReachabilityGraph g = explore(net, opts);
+  EXPECT_FALSE(g.complete);
+  EXPECT_NE(g.incomplete_reason.find("state cap"), std::string::npos);
+}
+
+TEST(Reachability, TokenCapAbortsOnUnboundedNet) {
+  PetriNet net = unbounded_producer();
+  ExploreOptions opts;
+  opts.token_cap = 5;
+  ReachabilityGraph g = explore(net, opts);
+  EXPECT_FALSE(g.complete);
+  EXPECT_NE(g.incomplete_reason.find("token cap"), std::string::npos);
+}
+
+TEST(Boundedness, SafeNetIsProvenSafe) {
+  PetriNet net = independent_rings(3);
+  BoundednessResult r = check_boundedness(net);
+  EXPECT_TRUE(r.bounded);
+  EXPECT_TRUE(r.proven);
+  EXPECT_EQ(r.bound, 1);
+  EXPECT_TRUE(r.is_safe());
+}
+
+TEST(Boundedness, TwoBoundedNetDetected) {
+  // Two tokens circulating in one ring.
+  PetriNet net;
+  PlaceId p0 = net.add_place("p0", 2);
+  PlaceId p1 = net.add_place("p1", 0);
+  TransitionId t0 = net.add_transition("t0");
+  TransitionId t1 = net.add_transition("t1");
+  net.add_arc_pt(p0, t0);
+  net.add_arc_tp(t0, p1);
+  net.add_arc_pt(p1, t1);
+  net.add_arc_tp(t1, p0);
+  BoundednessResult r = check_boundedness(net);
+  EXPECT_TRUE(r.bounded);
+  EXPECT_TRUE(r.proven);
+  EXPECT_EQ(r.bound, 2);
+  EXPECT_FALSE(r.is_safe());
+}
+
+TEST(Boundedness, UnboundedNetGetsWitness) {
+  PetriNet net = unbounded_producer();
+  BoundednessResult r = check_boundedness(net);
+  EXPECT_FALSE(r.bounded);
+  EXPECT_TRUE(r.proven);
+  EXPECT_NE(r.detail.find("dominates"), std::string::npos);
+}
+
+TEST(Structural, ConflictPlaces) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId q = net.add_place("q", 0);
+  TransitionId a = net.add_transition("a");
+  TransitionId b = net.add_transition("b");
+  net.add_arc_pt(p, a);
+  net.add_arc_pt(p, b);
+  net.add_arc_tp(a, q);
+  net.add_arc_tp(b, q);
+  auto conflicts = conflict_places(net);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], p);
+
+  auto pairs = structural_conflicts(net);
+  ASSERT_EQ(pairs.size(), 2u);  // (a,b) and (b,a)
+  EXPECT_EQ(pairs[0].place, p);
+}
+
+TEST(Structural, MarkedGraphRecognition) {
+  EXPECT_TRUE(is_marked_graph(independent_rings(3)));
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  TransitionId a = net.add_transition("a");
+  TransitionId b = net.add_transition("b");
+  net.add_arc_pt(p, a);
+  net.add_arc_pt(p, b);  // choice place: not a marked graph
+  EXPECT_FALSE(is_marked_graph(net));
+}
+
+TEST(Structural, StateMachineRecognition) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId q = net.add_place("q", 0);
+  TransitionId a = net.add_transition("a");
+  net.add_arc_pt(p, a);
+  net.add_arc_tp(a, q);
+  EXPECT_TRUE(is_state_machine(net));
+  PetriNet mg = independent_rings(1);
+  EXPECT_TRUE(is_state_machine(mg));  // one ring is both MG and SM
+  // A transition with two outputs breaks the SM property.
+  PetriNet fork;
+  PlaceId f0 = fork.add_place("f0", 1);
+  PlaceId f1 = fork.add_place("f1", 0);
+  PlaceId f2 = fork.add_place("f2", 0);
+  TransitionId t = fork.add_transition("t");
+  fork.add_arc_pt(f0, t);
+  fork.add_arc_tp(t, f1);
+  fork.add_arc_tp(t, f2);
+  EXPECT_FALSE(is_state_machine(fork));
+}
+
+TEST(Structural, FreeChoiceRecognition) {
+  // Pure choice: p feeds a and b, and p is the only input of both.
+  PetriNet pure;
+  PlaceId p = pure.add_place("p", 1);
+  PlaceId q = pure.add_place("q", 0);
+  TransitionId a = pure.add_transition("a");
+  TransitionId b = pure.add_transition("b");
+  pure.add_arc_pt(p, a);
+  pure.add_arc_pt(p, b);
+  pure.add_arc_tp(a, q);
+  pure.add_arc_tp(b, q);
+  EXPECT_TRUE(is_free_choice(pure));
+
+  // Asymmetric confusion: b also needs r => not free choice.
+  PetriNet conf;
+  PlaceId cp = conf.add_place("p", 1);
+  PlaceId cr = conf.add_place("r", 1);
+  PlaceId cq = conf.add_place("q", 0);
+  TransitionId ca = conf.add_transition("a");
+  TransitionId cb = conf.add_transition("b");
+  conf.add_arc_pt(cp, ca);
+  conf.add_arc_pt(cp, cb);
+  conf.add_arc_pt(cr, cb);
+  conf.add_arc_tp(ca, cq);
+  conf.add_arc_tp(cb, cq);
+  EXPECT_FALSE(is_free_choice(conf));
+}
+
+TEST(Structural, ConflictFreeTransitions) {
+  PetriNet net;
+  PlaceId p = net.add_place("p", 1);
+  PlaceId q = net.add_place("q", 1);
+  TransitionId a = net.add_transition("a");
+  TransitionId b = net.add_transition("b");
+  TransitionId c = net.add_transition("c");
+  net.add_arc_pt(p, a);
+  net.add_arc_pt(p, b);  // a and b conflict on p
+  net.add_arc_pt(q, c);  // c is conflict-free
+  net.add_arc_tp(a, q);
+  net.add_arc_tp(b, q);
+  net.add_arc_tp(c, p);
+  auto free = conflict_free_transitions(net);
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0], c);
+}
+
+}  // namespace
+}  // namespace stgcheck::pn

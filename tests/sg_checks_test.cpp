@@ -1,0 +1,278 @@
+// Explicit implementability checks on the hand-built example nets whose
+// verdicts are known from the paper's figures.
+#include <gtest/gtest.h>
+
+#include "sg/explicit_checks.hpp"
+#include "stg/generators.hpp"
+
+namespace stgcheck::sg {
+namespace {
+
+using stg::examples::fake_asymmetric;
+using stg::examples::fig3_d1;
+using stg::examples::fig3_d2;
+using stg::examples::inconsistent_rise_rise;
+using stg::examples::input_pulse_counter;
+using stg::examples::mutex2;
+using stg::examples::noncommutative_diamond;
+using stg::examples::nondeterministic_choice;
+using stg::examples::output_cycle;
+using stg::examples::output_cycle_resolved;
+using stg::examples::pulse_cycle;
+using stg::examples::vme_read;
+
+StateGraph graph_of(const stg::Stg& stg) {
+  StateGraph g = build_state_graph(stg);
+  EXPECT_TRUE(g.complete);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Consistency
+// ---------------------------------------------------------------------------
+
+TEST(ExplicitConsistency, CleanNetsPass) {
+  for (const stg::Stg& stg :
+       {stg::muller_pipeline(3), stg::master_read(2), stg::mutex_arbiter(3),
+        stg::select_chain(2), vme_read(), pulse_cycle()}) {
+    const stg::Stg& s = stg;
+    StateGraph g = build_state_graph(s);
+    EXPECT_TRUE(check_consistency(g).consistent) << s.name();
+  }
+}
+
+TEST(ExplicitConsistency, RiseRiseDetected) {
+  StateGraph g = build_state_graph(inconsistent_rise_rise());
+  ConsistencyResult r = check_consistency(g);
+  EXPECT_FALSE(r.consistent);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations[0].description.find("b+/2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Persistency
+// ---------------------------------------------------------------------------
+
+TEST(ExplicitPersistency, MarkedGraphsArePersistent) {
+  for (std::size_t n : {1u, 3u, 5u}) {
+    StateGraph g = graph_of(stg::muller_pipeline(n));
+    EXPECT_TRUE(check_signal_persistency(g).persistent);
+    EXPECT_TRUE(check_transition_persistency(g).empty());
+  }
+}
+
+TEST(ExplicitPersistency, Fig3SignalsPersistDespiteTransitionConflicts) {
+  // The paper's key distinction: a+ and b+/2 are non-persistent
+  // *transitions*, yet both *signals* stay persistent.
+  StateGraph g = graph_of(fig3_d1());
+  EXPECT_FALSE(check_transition_persistency(g).empty());
+  EXPECT_TRUE(check_signal_persistency(g).persistent);
+}
+
+TEST(ExplicitPersistency, MutexGrantsViolateUnlessArbitrationDeclared) {
+  stg::Stg stg = mutex2();
+  StateGraph g = graph_of(stg);
+  PersistencyResult strict = check_signal_persistency(g);
+  EXPECT_FALSE(strict.persistent);
+  // Both violations are grant-vs-grant (non-input victims).
+  for (const PersistencyViolation& v : strict.violations) {
+    EXPECT_FALSE(v.victim_is_input);
+  }
+
+  PersistencyOptions options;
+  options.arbitration_pairs.push_back(
+      {stg.find_signal("g1"), stg.find_signal("g2")});
+  EXPECT_TRUE(check_signal_persistency(g, options).persistent);
+}
+
+TEST(ExplicitPersistency, InputChoiceIsLegal) {
+  StateGraph g = graph_of(stg::select_chain(2));
+  EXPECT_TRUE(check_signal_persistency(g).persistent);
+  // The x/y choices are real transition conflicts, though.
+  EXPECT_FALSE(check_transition_persistency(g).empty());
+}
+
+TEST(ExplicitPersistency, InputDisabledByOutputDetected) {
+  // fake_asymmetric with a as input, b as output: firing b+ (wait, b is
+  // also input by default) -- use output variant where a+ being killed by
+  // b+ is a non-input disabling a non-input.
+  StateGraph g = graph_of(fake_asymmetric(/*output_ab=*/true));
+  PersistencyResult r = check_signal_persistency(g);
+  EXPECT_FALSE(r.persistent);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and commutativity
+// ---------------------------------------------------------------------------
+
+TEST(ExplicitDeterminism, CleanNetsDeterministic) {
+  for (const stg::Stg& s :
+       {stg::muller_pipeline(3), stg::select_chain(3), mutex2(), vme_read()}) {
+    StateGraph g = build_state_graph(s);
+    EXPECT_TRUE(check_determinism(g).empty()) << s.name();
+  }
+}
+
+TEST(ExplicitDeterminism, DoubleEnabledSameLabelDetected) {
+  StateGraph g = graph_of(nondeterministic_choice());
+  auto violations = check_determinism(g);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].state, 0u);  // both a+ instances enabled initially
+}
+
+TEST(ExplicitCommutativity, Fig3DiamondsCommute) {
+  EXPECT_TRUE(check_commutativity(graph_of(fig3_d1())).empty());
+  EXPECT_TRUE(check_commutativity(graph_of(fig3_d2())).empty());
+}
+
+TEST(ExplicitCommutativity, BrokenDiamondDetected) {
+  StateGraph g = graph_of(noncommutative_diamond());
+  auto violations = check_commutativity(g);
+  ASSERT_FALSE(violations.empty());
+  // The offending diamond starts at the initial state with labels a+/b+.
+  EXPECT_EQ(violations[0].state, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Coding
+// ---------------------------------------------------------------------------
+
+TEST(ExplicitCoding, UniqueCodesOnCleanNets) {
+  for (const stg::Stg& s :
+       {stg::muller_pipeline(3), stg::master_read(2), mutex2(),
+        output_cycle_resolved()}) {
+    StateGraph g = build_state_graph(s);
+    CodingResult r = check_coding(g);
+    EXPECT_TRUE(r.unique_state_coding) << s.name();
+    EXPECT_TRUE(r.complete_state_coding) << s.name();
+  }
+}
+
+TEST(ExplicitCoding, SelectChainSatisfiesCscButNotUsc) {
+  // Distinct stages share the all-zero code, but no non-input signal is
+  // excited in any of those states: Def. 3.4 case (2).
+  StateGraph g = graph_of(stg::select_chain(3));
+  CodingResult r = check_coding(g);
+  EXPECT_FALSE(r.unique_state_coding);
+  EXPECT_TRUE(r.complete_state_coding);
+}
+
+TEST(ExplicitCoding, PulseCycleViolatesCsc) {
+  StateGraph g = graph_of(pulse_cycle());
+  CodingResult r = check_coding(g);
+  EXPECT_FALSE(r.unique_state_coding);
+  EXPECT_FALSE(r.complete_state_coding);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(g.code_string(r.violations[0].excited_state),
+            g.code_string(r.violations[0].quiescent_state));
+}
+
+TEST(ExplicitCoding, VmeReadViolatesCsc) {
+  StateGraph g = graph_of(vme_read());
+  CodingResult r = check_coding(g);
+  EXPECT_FALSE(r.complete_state_coding);
+}
+
+TEST(ExplicitCoding, CounterViolatesCscOnY) {
+  StateGraph g = graph_of(input_pulse_counter());
+  CodingResult r = check_coding(g);
+  EXPECT_FALSE(r.complete_state_coding);
+  bool y_flagged = false;
+  for (const CscViolation& v : r.violations) {
+    if (g.stg->signal_name(v.signal) == "y") y_flagged = true;
+  }
+  EXPECT_TRUE(y_flagged);
+}
+
+// ---------------------------------------------------------------------------
+// Reducibility
+// ---------------------------------------------------------------------------
+
+TEST(ExplicitReducibility, SatisfiedCscIsVacuouslyReducible) {
+  ReducibilityResult r = check_csc_reducibility(graph_of(stg::muller_pipeline(2)));
+  EXPECT_TRUE(r.csc_satisfied);
+  EXPECT_TRUE(r.reducible);
+}
+
+TEST(ExplicitReducibility, OutputCycleIsReducible) {
+  // No input-only path joins the contradictory states (there are no inputs
+  // at all), so internal-signal insertion can fix it -- and
+  // output_cycle_resolved() proves it by construction.
+  ReducibilityResult r = check_csc_reducibility(graph_of(output_cycle()));
+  EXPECT_FALSE(r.csc_satisfied);
+  EXPECT_TRUE(r.reducible);
+}
+
+TEST(ExplicitReducibility, PulseCycleIsIrreducible) {
+  // The contradictory 10-states are joined by the input-only path a-, a+:
+  // mutually complementary input sequences (Def. 3.5 (3)).
+  ReducibilityResult r = check_csc_reducibility(graph_of(pulse_cycle()));
+  EXPECT_FALSE(r.csc_satisfied);
+  EXPECT_FALSE(r.reducible);
+  ASSERT_EQ(r.irreducible_signals.size(), 1u);
+}
+
+TEST(ExplicitReducibility, PulseCounterIsIrreducible) {
+  ReducibilityResult r = check_csc_reducibility(graph_of(input_pulse_counter()));
+  EXPECT_FALSE(r.csc_satisfied);
+  EXPECT_FALSE(r.reducible);
+}
+
+// ---------------------------------------------------------------------------
+// Fake conflicts
+// ---------------------------------------------------------------------------
+
+TEST(FakeConflicts, Fig3D1IsSymmetricFake) {
+  StateGraph g = graph_of(fig3_d1());
+  auto reports = analyze_fake_conflicts(g);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].symmetric_fake());
+  EXPECT_FALSE(reports[0].asymmetric_fake());
+}
+
+TEST(FakeConflicts, AsymmetricDetected) {
+  StateGraph g = graph_of(fake_asymmetric());
+  auto reports = analyze_fake_conflicts(g);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].asymmetric_fake());
+  // b survives via b+/2 after a+ fires; a is killed by b+.
+  EXPECT_TRUE(reports[0].fake_against_t2 || reports[0].fake_against_t1);
+  EXPECT_TRUE(reports[0].disables_t1 || reports[0].disables_t2);
+}
+
+TEST(FakeConflicts, MutexConflictsAreRealNotFake) {
+  StateGraph g = graph_of(mutex2());
+  for (const FakeConflictReport& r : analyze_fake_conflicts(g)) {
+    EXPECT_FALSE(r.symmetric_fake());
+    EXPECT_FALSE(r.asymmetric_fake());
+  }
+}
+
+TEST(FakeFreedom, ClassifiesPerPaperRules) {
+  // Symmetric fake conflicts are always rejected.
+  EXPECT_FALSE(check_fake_freedom(graph_of(fig3_d1())).fake_free);
+  // Asymmetric between two inputs is a legal choice.
+  EXPECT_TRUE(check_fake_freedom(graph_of(fake_asymmetric(false))).fake_free);
+  // Asymmetric involving a non-input is rejected.
+  EXPECT_FALSE(check_fake_freedom(graph_of(fake_asymmetric(true))).fake_free);
+  // Plain concurrency (D2) has no conflicts at all.
+  EXPECT_TRUE(check_fake_freedom(graph_of(fig3_d2())).fake_free);
+  // Mutex conflicts are real, not fake: fake-freedom holds.
+  EXPECT_TRUE(check_fake_freedom(graph_of(mutex2())).fake_free);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlocks
+// ---------------------------------------------------------------------------
+
+TEST(Deadlocks, CyclicNetsAreLive) {
+  EXPECT_TRUE(find_deadlocks(graph_of(stg::muller_pipeline(4))).empty());
+  EXPECT_TRUE(find_deadlocks(graph_of(mutex2())).empty());
+}
+
+TEST(Deadlocks, SinkNetsDeadlock) {
+  EXPECT_FALSE(find_deadlocks(graph_of(fig3_d1())).empty());
+}
+
+}  // namespace
+}  // namespace stgcheck::sg

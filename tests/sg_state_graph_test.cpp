@@ -1,0 +1,121 @@
+// Full state graph construction: codes, inference, projections.
+#include <gtest/gtest.h>
+
+#include "sg/state_graph.hpp"
+#include "stg/generators.hpp"
+
+namespace stgcheck::sg {
+namespace {
+
+TEST(StateGraph, HandshakeHasFourStates) {
+  stg::Stg stg = stg::examples::pulse_cycle();
+  StateGraph g = build_state_graph(stg);
+  ASSERT_TRUE(g.complete);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.distinct_markings(), 4u);
+  // Codes: 00, 10, 11, 10 -- the famous repeated "10".
+  EXPECT_EQ(g.distinct_codes(), 3u);
+}
+
+TEST(StateGraph, InitialCodeFromExplicitValues) {
+  stg::Stg stg = stg::examples::pulse_cycle();
+  StateGraph g = build_state_graph(stg);
+  EXPECT_EQ(g.code_string(0), "00");
+}
+
+TEST(StateGraph, InitialCodeInferred) {
+  // Remove explicit values: inference must still find a=0, b=0 because a+
+  // is the first enabled transition and b+ follows.
+  stg::Stg stg;
+  const stg::SignalId a = stg.add_signal("a", stg::SignalKind::kInput);
+  const stg::SignalId b = stg.add_signal("b", stg::SignalKind::kOutput);
+  auto ap = stg.add_transition(a, stg::Dir::kPlus);
+  auto bp = stg.add_transition(b, stg::Dir::kPlus);
+  auto bm = stg.add_transition(b, stg::Dir::kMinus);
+  auto am = stg.add_transition(a, stg::Dir::kMinus);
+  stg.connect(ap, bp);
+  stg.connect(bp, bm);
+  stg.connect(bm, am);
+  stg.connect(am, ap, 1);
+  StateGraph g = build_state_graph(stg);
+  EXPECT_EQ(g.code_string(0), "00");
+}
+
+TEST(StateGraph, InferenceSeesFallingFirst) {
+  // b- is the first b transition: b must start at 1.
+  stg::Stg stg;
+  const stg::SignalId a = stg.add_signal("a", stg::SignalKind::kInput);
+  const stg::SignalId b = stg.add_signal("b", stg::SignalKind::kOutput);
+  auto ap = stg.add_transition(a, stg::Dir::kPlus);
+  auto bm = stg.add_transition(b, stg::Dir::kMinus);
+  auto bp = stg.add_transition(b, stg::Dir::kPlus);
+  auto am = stg.add_transition(a, stg::Dir::kMinus);
+  stg.connect(ap, bm);
+  stg.connect(bm, bp);
+  stg.connect(bp, am);
+  stg.connect(am, ap, 1);
+  StateGraph g = build_state_graph(stg);
+  EXPECT_EQ(g.code_string(0), "01");  // a=0 inferred, b=1 inferred
+}
+
+TEST(StateGraph, DummiesDoNotChangeCodes) {
+  stg::Stg stg;
+  const stg::SignalId a = stg.add_signal("a", stg::SignalKind::kInput);
+  auto ap = stg.add_transition(a, stg::Dir::kPlus);
+  auto eps = stg.add_dummy("eps");
+  auto am = stg.add_transition(a, stg::Dir::kMinus);
+  stg.connect(ap, eps);
+  stg.connect(eps, am);
+  stg.connect(am, ap, 1);
+  stg.set_initial_value(a, false);
+  StateGraph g = build_state_graph(stg);
+  ASSERT_TRUE(g.complete);
+  EXPECT_EQ(g.size(), 3u);
+  // The dummy edge leaves the code unchanged: only 2 distinct codes.
+  EXPECT_EQ(g.distinct_codes(), 2u);
+}
+
+TEST(StateGraph, FullStateSplitsMarkingsByCode) {
+  // input_pulse_counter: 8 markings, and the code (1,1,0) appears twice.
+  stg::Stg stg = stg::examples::input_pulse_counter();
+  StateGraph g = build_state_graph(stg);
+  ASSERT_TRUE(g.complete);
+  EXPECT_EQ(g.size(), 8u);
+  EXPECT_EQ(g.distinct_markings(), 8u);
+  EXPECT_EQ(g.distinct_codes(), 7u);  // the repeated 110
+}
+
+TEST(StateGraph, SignalEnabledAndSuccessors) {
+  stg::Stg stg = stg::examples::pulse_cycle();
+  StateGraph g = build_state_graph(stg);
+  const stg::SignalId a = stg.find_signal("a");
+  const stg::SignalId b = stg.find_signal("b");
+  EXPECT_TRUE(g.signal_enabled(0, a));
+  EXPECT_FALSE(g.signal_enabled(0, b));
+  const pn::TransitionId ap = stg.net().find_transition("a+");
+  auto succ = g.successor(0, ap);
+  ASSERT_TRUE(succ.has_value());
+  EXPECT_EQ(g.code_string(*succ), "10");
+  EXPECT_FALSE(g.successor(0, stg.net().find_transition("a-")).has_value());
+}
+
+TEST(StateGraph, StateCapStopsCleanly) {
+  stg::Stg stg = stg::muller_pipeline(8);
+  StateGraphOptions opts;
+  opts.state_cap = 50;
+  StateGraph g = build_state_graph(stg, opts);
+  EXPECT_FALSE(g.complete);
+  EXPECT_EQ(g.size(), 50u);
+}
+
+TEST(StateGraph, MutexMatchesExplicitReachability) {
+  // Consistent STG: one code per marking, so full SG size == RG size.
+  stg::Stg stg = stg::mutex_arbiter(3);
+  StateGraph g = build_state_graph(stg);
+  ASSERT_TRUE(g.complete);
+  EXPECT_EQ(g.size(), g.distinct_markings());
+  EXPECT_EQ(g.size(), 32u);  // 2^3 * (1+3)
+}
+
+}  // namespace
+}  // namespace stgcheck::sg

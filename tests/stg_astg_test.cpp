@@ -1,0 +1,200 @@
+// The .g (astg) parser and writer.
+#include <gtest/gtest.h>
+
+#include "petri/reachability.hpp"
+#include "stg/astg_io.hpp"
+#include "stg/generators.hpp"
+#include "util/error.hpp"
+
+namespace stgcheck::stg {
+namespace {
+
+constexpr const char* kSmall = R"(
+# A tiny handshake.
+.model handshake
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end
+)";
+
+TEST(AstgParse, SmallHandshake) {
+  Stg stg = parse_astg_string(kSmall);
+  EXPECT_EQ(stg.name(), "handshake");
+  EXPECT_EQ(stg.signal_count(), 2u);
+  EXPECT_EQ(stg.signal_kind(stg.find_signal("req")), SignalKind::kInput);
+  EXPECT_EQ(stg.signal_kind(stg.find_signal("ack")), SignalKind::kOutput);
+  EXPECT_EQ(stg.net().transition_count(), 4u);
+  EXPECT_EQ(stg.net().place_count(), 4u);  // all implicit
+  // The marked implicit place enables req+ initially.
+  pn::TransitionId req_p = stg.net().find_transition("req+");
+  ASSERT_NE(req_p, pn::kNoId);
+  EXPECT_TRUE(stg.net().enabled(stg.net().initial_marking(), req_p));
+  // 4-phase handshake has 4 reachable markings.
+  EXPECT_EQ(pn::explore(stg.net()).size(), 4u);
+}
+
+TEST(AstgParse, ExplicitPlacesAndInstances) {
+  constexpr const char* text = R"(
+.model choices
+.inputs a
+.outputs z
+.graph
+p0 a+ a+/2
+a+ z+
+a+/2 z+/2
+z+ p1
+z+/2 p1
+.marking { p0 }
+.end
+)";
+  Stg stg = parse_astg_string(text);
+  EXPECT_EQ(stg.net().transition_count(), 4u);
+  pn::PlaceId p0 = stg.net().find_place("p0");
+  ASSERT_NE(p0, pn::kNoId);
+  EXPECT_EQ(stg.net().initial_marking().tokens(p0), 1);
+  EXPECT_EQ(stg.net().postset_of_place(p0).size(), 2u);
+  pn::TransitionId a2 = stg.net().find_transition("a+/2");
+  ASSERT_NE(a2, pn::kNoId);
+  EXPECT_EQ(stg.label(a2).instance, 2u);
+}
+
+TEST(AstgParse, InternalAndDummy) {
+  constexpr const char* text = R"(
+.model mixed
+.inputs a
+.outputs x
+.internal u
+.dummy eps
+.graph
+a+ eps
+eps u+
+u+ x+
+x+ a-
+a- u-
+u- x-
+x- a+
+.marking { <x-,a+> }
+.initial_values a=0 x=0 u=0
+.end
+)";
+  Stg stg = parse_astg_string(text);
+  EXPECT_EQ(stg.signal_count(), 3u);
+  EXPECT_EQ(stg.signal_kind(stg.find_signal("u")), SignalKind::kInternal);
+  pn::TransitionId eps = stg.net().find_transition("eps");
+  ASSERT_NE(eps, pn::kNoId);
+  EXPECT_TRUE(stg.label(eps).is_dummy());
+  EXPECT_TRUE(stg.all_initial_values_known());
+  EXPECT_EQ(stg.initial_value(stg.find_signal("a")), std::optional<bool>(false));
+}
+
+TEST(AstgParse, MultiTokenMarking) {
+  constexpr const char* text = R"(
+.model twotok
+.inputs a
+.graph
+p a+
+a+ p
+.marking { p=2 }
+.end
+)";
+  Stg stg = parse_astg_string(text);
+  pn::PlaceId p = stg.net().find_place("p");
+  EXPECT_EQ(stg.net().initial_marking().tokens(p), 2);
+}
+
+TEST(AstgParse, Errors) {
+  EXPECT_THROW(parse_astg_string(".bogus\n"), ParseError);
+  EXPECT_THROW(parse_astg_string("stray text\n"), ParseError);
+  // Transition with undeclared signal.
+  EXPECT_THROW(parse_astg_string(".graph\nq+ p1\n.end\n"), ParseError);
+  // Arc between two places.
+  EXPECT_THROW(parse_astg_string(".graph\np1 p2\n.end\n"), ParseError);
+  // Marking of an unknown place.
+  EXPECT_THROW(parse_astg_string(
+                   ".inputs a\n.graph\np a+\na+ p\n.marking { qq }\n.end\n"),
+               ParseError);
+  // Bad token count.
+  EXPECT_THROW(parse_astg_string(
+                   ".inputs a\n.graph\np a+\na+ p\n.marking { p=x }\n.end\n"),
+               ParseError);
+  // Bad initial values.
+  EXPECT_THROW(parse_astg_string(".inputs a\n.initial_values a=2\n"
+                                 ".graph\np a+\na+ p\n.marking { p }\n.end\n"),
+               ParseError);
+  EXPECT_THROW(parse_astg_string(".inputs a\n.initial_values b=1\n"
+                                 ".graph\np a+\na+ p\n.marking { p }\n.end\n"),
+               ParseError);
+  // Graph line with only one token.
+  EXPECT_THROW(parse_astg_string(".inputs a\n.graph\na+\n.marking { }\n.end\n"),
+               ParseError);
+  // Duplicate transition-to-transition arc.
+  EXPECT_THROW(parse_astg_string(".inputs a b\n.graph\na+ b+\na+ b+\n"
+                                 ".marking { }\n.end\n"),
+               ParseError);
+}
+
+TEST(AstgParse, MarkingOfUnknownImplicitPlace) {
+  EXPECT_THROW(parse_astg_string(
+                   ".inputs a b\n.graph\na+ b+\nb+ a+\n"
+                   ".marking { <b+,x+> }\n.end\n"),
+               ParseError);
+}
+
+TEST(AstgParse, MissingFileThrows) {
+  EXPECT_THROW(parse_astg_file("/nonexistent/file.g"), Error);
+}
+
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, WriteThenParsePreservesStructure) {
+  Stg original = [&]() -> Stg {
+    switch (GetParam()) {
+      case 0: return muller_pipeline(3);
+      case 1: return master_read(2);
+      case 2: return mutex_arbiter(3);
+      case 3: return select_chain(2);
+      case 4: return examples::vme_read();
+      case 5: return examples::fig3_d1();
+      case 6: return examples::input_pulse_counter();
+      default: return examples::output_cycle_resolved();
+    }
+  }();
+
+  const std::string text = write_astg_string(original);
+  Stg reparsed = parse_astg_string(text);
+
+  EXPECT_EQ(reparsed.name(), original.name());
+  EXPECT_EQ(reparsed.signal_count(), original.signal_count());
+  EXPECT_EQ(reparsed.net().transition_count(), original.net().transition_count());
+  EXPECT_EQ(reparsed.net().place_count(), original.net().place_count());
+  for (SignalId s = 0; s < original.signal_count(); ++s) {
+    SignalId rs = reparsed.find_signal(original.signal_name(s));
+    ASSERT_NE(rs, kNoSignal);
+    EXPECT_EQ(reparsed.signal_kind(rs), original.signal_kind(s));
+    EXPECT_EQ(reparsed.initial_value(rs), original.initial_value(s));
+  }
+  // The reachability graphs have the same size (structure preserved up to
+  // renaming of ids).
+  EXPECT_EQ(pn::explore(reparsed.net()).size(), pn::explore(original.net()).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Nets, RoundTrip, ::testing::Range(0, 8));
+
+TEST(AstgWrite, ContainsDeclarations) {
+  Stg stg = examples::vme_read();
+  const std::string text = write_astg_string(stg);
+  EXPECT_NE(text.find(".model vme_read"), std::string::npos);
+  EXPECT_NE(text.find(".inputs dsr ldtack"), std::string::npos);
+  EXPECT_NE(text.find(".outputs lds d dtack"), std::string::npos);
+  EXPECT_NE(text.find(".marking {"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stgcheck::stg

@@ -1,0 +1,176 @@
+// Generator families: structural invariants and reachable-state growth.
+#include <gtest/gtest.h>
+
+#include "petri/reachability.hpp"
+#include "petri/structural.hpp"
+#include "stg/generators.hpp"
+#include "util/error.hpp"
+
+namespace stgcheck::stg {
+namespace {
+
+TEST(Generators, RejectZeroSize) {
+  EXPECT_THROW(muller_pipeline(0), ModelError);
+  EXPECT_THROW(master_read(0), ModelError);
+  EXPECT_THROW(mutex_arbiter(0), ModelError);
+  EXPECT_THROW(select_chain(0), ModelError);
+}
+
+class MullerPipeline : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MullerPipeline, IsSafeLiveMarkedGraph) {
+  const std::size_t n = GetParam();
+  Stg stg = muller_pipeline(n);
+  stg.validate();
+  EXPECT_EQ(stg.signal_count(), n + 1);
+  EXPECT_TRUE(pn::is_marked_graph(stg.net()));
+
+  pn::ReachabilityGraph g = pn::explore(stg.net());
+  ASSERT_TRUE(g.complete);
+  // Safe and deadlock-free.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_LE(g.markings[i].max_tokens(), 1);
+    EXPECT_FALSE(g.edges[i].empty()) << "deadlock at marking " << i;
+  }
+}
+
+TEST_P(MullerPipeline, StateCountGrowsExponentially) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const std::size_t smaller = pn::explore(muller_pipeline(n - 1).net()).size();
+  const std::size_t larger = pn::explore(muller_pipeline(n).net()).size();
+  // Golden-ratio-like growth: strictly more than 1.3x per stage.
+  EXPECT_GT(static_cast<double>(larger), 1.3 * static_cast<double>(smaller));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MullerPipeline, ::testing::Values(1, 2, 3, 5, 8));
+
+class MasterRead : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MasterRead, IsSafeLiveMarkedGraph) {
+  const std::size_t n = GetParam();
+  Stg stg = master_read(n);
+  stg.validate();
+  EXPECT_EQ(stg.signal_count(), 2 * n + 2);  // n channels + go/done bracket
+  EXPECT_TRUE(pn::is_marked_graph(stg.net()));
+  pn::ReachabilityGraph g = pn::explore(stg.net());
+  ASSERT_TRUE(g.complete);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_LE(g.markings[i].max_tokens(), 1);
+    EXPECT_FALSE(g.edges[i].empty()) << "deadlock at marking " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MasterRead, ::testing::Values(1, 2, 3, 4));
+
+class MutexArbiter : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MutexArbiter, MutualExclusionHolds) {
+  const std::size_t n = GetParam();
+  Stg stg = mutex_arbiter(n);
+  stg.validate();
+  // With a single user there is no competition for the token, so the net
+  // degenerates to a marked graph.
+  EXPECT_EQ(pn::is_marked_graph(stg.net()), n == 1);
+
+  // The g+ transitions all conflict on the "free" place.
+  auto conflicts = pn::conflict_places(stg.net());
+  if (n > 1) {
+    ASSERT_EQ(conflicts.size(), 1u);
+    EXPECT_EQ(stg.net().place_name(conflicts[0]), "free");
+  }
+
+  // No reachable marking has two users in the critical section.
+  pn::ReachabilityGraph g = pn::explore(stg.net());
+  ASSERT_TRUE(g.complete);
+  std::vector<pn::PlaceId> cs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cs[i] = stg.net().find_place("cs" + std::to_string(i + 1));
+  }
+  for (const pn::Marking& m : g.markings) {
+    int in_cs = 0;
+    for (std::size_t i = 0; i < n; ++i) in_cs += m.tokens(cs[i]);
+    EXPECT_LE(in_cs, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MutexArbiter, ::testing::Values(1, 2, 3, 4));
+
+TEST(MutexArbiter, StateCountFormula) {
+  // Users are independent 2-state cycles except that at most one may hold
+  // the token in {cs, done}: states = 2^n + n * 2 * 2^(n-1) = 2^n (1 + n).
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    const std::size_t states = pn::explore(mutex_arbiter(n).net()).size();
+    EXPECT_EQ(states, (std::size_t{1} << n) * (1 + n)) << "n=" << n;
+  }
+}
+
+class SelectChain : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SelectChain, LinearStateCount) {
+  const std::size_t n = GetParam();
+  Stg stg = select_chain(n);
+  stg.validate();
+  EXPECT_TRUE(pn::is_free_choice(stg.net()));
+  pn::ReachabilityGraph g = pn::explore(stg.net());
+  ASSERT_TRUE(g.complete);
+  // One control token: 1 choice marking + 2 branches x 3 markings per stage.
+  EXPECT_EQ(g.size(), 7 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectChain, ::testing::Values(1, 2, 3, 6));
+
+TEST(Examples, Mutex2MatchesFigure1Shape) {
+  Stg stg = examples::mutex2();
+  // 2 users x (r, g) = 4 signals, 8 transitions; 9 places (4 per user + free).
+  EXPECT_EQ(stg.signal_count(), 4u);
+  EXPECT_EQ(stg.net().transition_count(), 8u);
+  EXPECT_EQ(stg.net().place_count(), 9u);
+  EXPECT_EQ(pn::explore(stg.net()).size(), 12u);  // 2^2 * (1+2)
+}
+
+TEST(Examples, Fig3NetsShareStateGraphSize) {
+  // D1 and D2 realize the same SG (Sec. 3.2): same number of reachable
+  // markings and the same language over codes; here we check sizes.
+  Stg d1 = examples::fig3_d1();
+  Stg d2 = examples::fig3_d2();
+  pn::ReachabilityGraph g1 = pn::explore(d1.net());
+  pn::ReachabilityGraph g2 = pn::explore(d2.net());
+  EXPECT_EQ(g1.size(), 5u);
+  EXPECT_EQ(g2.size(), 5u);
+}
+
+TEST(Examples, UnsafeRingIsTwoBounded) {
+  Stg stg = examples::unsafe_two_token_ring();
+  pn::BoundednessResult r = pn::check_boundedness(stg.net());
+  EXPECT_TRUE(r.bounded);
+  EXPECT_TRUE(r.proven);
+  EXPECT_EQ(r.bound, 2);
+  EXPECT_FALSE(r.is_safe());
+}
+
+TEST(Examples, AllFixedNetsValidate) {
+  for (Stg stg :
+       {examples::mutex2(), examples::fig3_d1(), examples::fig3_d2(),
+        examples::fake_asymmetric(), examples::inconsistent_rise_rise(),
+        examples::unsafe_two_token_ring(), examples::nondeterministic_choice(),
+        examples::noncommutative_diamond(), examples::pulse_cycle(),
+        examples::output_cycle(), examples::output_cycle_resolved(),
+        examples::input_pulse_counter(), examples::vme_read()}) {
+    EXPECT_NO_THROW(stg.validate()) << stg.name();
+    pn::ReachabilityGraph g = pn::explore(stg.net());
+    EXPECT_TRUE(g.complete) << stg.name();
+    EXPECT_GT(g.size(), 1u) << stg.name();
+  }
+}
+
+TEST(Examples, VmeReadHasTwentyFourMarkings) {
+  // The classic VME read-cycle STG: 24 reachable markings.
+  pn::ReachabilityGraph g = pn::explore(examples::vme_read().net());
+  EXPECT_TRUE(g.complete);
+  EXPECT_GE(g.size(), 12u);
+  EXPECT_LE(g.size(), 40u);
+}
+
+}  // namespace
+}  // namespace stgcheck::stg

@@ -1,0 +1,151 @@
+// STG model: signals, labels, instances, initial values, validation.
+#include <gtest/gtest.h>
+
+#include "stg/stg.hpp"
+#include "util/error.hpp"
+
+namespace stgcheck::stg {
+namespace {
+
+TEST(StgModel, SignalDeclaration) {
+  Stg stg;
+  SignalId a = stg.add_signal("a", SignalKind::kInput);
+  SignalId x = stg.add_signal("x", SignalKind::kOutput);
+  SignalId u = stg.add_signal("u", SignalKind::kInternal);
+  EXPECT_EQ(stg.signal_count(), 3u);
+  EXPECT_EQ(stg.signal_name(a), "a");
+  EXPECT_EQ(stg.signal_kind(x), SignalKind::kOutput);
+  EXPECT_TRUE(stg.is_input(a));
+  EXPECT_FALSE(stg.is_input(x));
+  EXPECT_TRUE(stg.is_noninput(u));
+  EXPECT_EQ(stg.find_signal("x"), x);
+  EXPECT_EQ(stg.find_signal("zz"), kNoSignal);
+}
+
+TEST(StgModel, SignalsOfKind) {
+  Stg stg;
+  stg.add_signal("a", SignalKind::kInput);
+  stg.add_signal("x", SignalKind::kOutput);
+  stg.add_signal("b", SignalKind::kInput);
+  stg.add_signal("u", SignalKind::kInternal);
+  EXPECT_EQ(stg.signals_of_kind(SignalKind::kInput).size(), 2u);
+  EXPECT_EQ(stg.signals_of_kind(SignalKind::kOutput).size(), 1u);
+  EXPECT_EQ(stg.noninput_signals().size(), 2u);
+}
+
+TEST(StgModel, BadSignalNamesRejected) {
+  Stg stg;
+  EXPECT_THROW(stg.add_signal("", SignalKind::kInput), ModelError);
+  EXPECT_THROW(stg.add_signal("a+b", SignalKind::kInput), ModelError);
+  EXPECT_THROW(stg.add_signal("a/2", SignalKind::kInput), ModelError);
+  EXPECT_THROW(stg.add_signal("<p>", SignalKind::kInput), ModelError);
+  stg.add_signal("ok_name.3", SignalKind::kInput);
+  EXPECT_THROW(stg.add_signal("ok_name.3", SignalKind::kOutput), ModelError);
+}
+
+TEST(StgModel, TransitionInstancesAutoIncrement) {
+  Stg stg;
+  SignalId a = stg.add_signal("a", SignalKind::kInput);
+  pn::TransitionId t1 = stg.add_transition(a, Dir::kPlus);
+  pn::TransitionId t2 = stg.add_transition(a, Dir::kPlus);
+  pn::TransitionId t3 = stg.add_transition(a, Dir::kMinus);
+  EXPECT_EQ(stg.format_label(t1), "a+");
+  EXPECT_EQ(stg.format_label(t2), "a+/2");
+  EXPECT_EQ(stg.format_label(t3), "a-");
+  EXPECT_EQ(stg.label(t2).instance, 2u);
+  EXPECT_EQ(stg.label(t3).dir, Dir::kMinus);
+  EXPECT_EQ(stg.find_transition(a, Dir::kPlus, 2), t2);
+  EXPECT_EQ(stg.find_transition(a, Dir::kMinus, 2), pn::kNoId);
+}
+
+TEST(StgModel, ExplicitInstanceIndices) {
+  Stg stg;
+  SignalId a = stg.add_signal("a", SignalKind::kInput);
+  stg.add_transition(a, Dir::kPlus, 3);
+  // Auto-numbering continues after the highest explicit index.
+  pn::TransitionId t = stg.add_transition(a, Dir::kPlus);
+  EXPECT_EQ(stg.label(t).instance, 4u);
+  EXPECT_THROW(stg.add_transition(a, Dir::kPlus, 0), ModelError);
+  EXPECT_THROW(stg.add_transition(SignalId{9}, Dir::kPlus), ModelError);
+}
+
+TEST(StgModel, DummyTransitions) {
+  Stg stg;
+  pn::TransitionId d = stg.add_dummy("eps");
+  EXPECT_TRUE(stg.label(d).is_dummy());
+  EXPECT_EQ(stg.format_label(d), "eps");
+  EXPECT_THROW(stg.add_dummy(""), ModelError);
+}
+
+TEST(StgModel, TransitionsOfSignal) {
+  Stg stg;
+  SignalId a = stg.add_signal("a", SignalKind::kInput);
+  SignalId b = stg.add_signal("b", SignalKind::kOutput);
+  stg.add_transition(a, Dir::kPlus);
+  stg.add_transition(b, Dir::kPlus);
+  stg.add_transition(a, Dir::kMinus);
+  EXPECT_EQ(stg.transitions_of_signal(a).size(), 2u);
+  EXPECT_EQ(stg.transitions_of(a, Dir::kPlus).size(), 1u);
+  EXPECT_EQ(stg.transitions_of(b, Dir::kMinus).size(), 0u);
+}
+
+TEST(StgModel, ConnectCreatesImplicitPlace) {
+  Stg stg;
+  SignalId a = stg.add_signal("a", SignalKind::kInput);
+  pn::TransitionId t1 = stg.add_transition(a, Dir::kPlus);
+  pn::TransitionId t2 = stg.add_transition(a, Dir::kMinus);
+  pn::PlaceId p = stg.connect(t1, t2, 1);
+  EXPECT_EQ(stg.net().place_name(p), "<a+,a->");
+  EXPECT_EQ(stg.net().initial_marking().tokens(p), 1);
+  EXPECT_EQ(stg.net().preset(t2)[0], p);
+}
+
+TEST(StgModel, InitialValues) {
+  Stg stg;
+  SignalId a = stg.add_signal("a", SignalKind::kInput);
+  SignalId b = stg.add_signal("b", SignalKind::kOutput);
+  EXPECT_FALSE(stg.initial_value(a).has_value());
+  EXPECT_FALSE(stg.all_initial_values_known());
+  stg.set_initial_value(a, true);
+  EXPECT_EQ(stg.initial_value(a), std::optional<bool>(true));
+  EXPECT_FALSE(stg.all_initial_values_known());
+  stg.set_initial_value(b, false);
+  EXPECT_TRUE(stg.all_initial_values_known());
+  EXPECT_THROW(stg.set_initial_value(SignalId{7}, true), ModelError);
+}
+
+TEST(StgModel, ValidateRequiresTransitionsPerSignal) {
+  Stg stg;
+  SignalId a = stg.add_signal("a", SignalKind::kInput);
+  stg.add_signal("ghost", SignalKind::kOutput);
+  pn::TransitionId t = stg.add_transition(a, Dir::kPlus);
+  pn::PlaceId p = stg.add_place("p", 1);
+  stg.arc_pt(p, t);
+  EXPECT_THROW(stg.validate(), ModelError);
+}
+
+TEST(LabelText, ParseValid) {
+  auto l1 = parse_label_text("a+");
+  ASSERT_TRUE(l1.has_value());
+  EXPECT_EQ(l1->signal, "a");
+  EXPECT_EQ(l1->dir, Dir::kPlus);
+  EXPECT_EQ(l1->instance, 1u);
+
+  auto l2 = parse_label_text("req-/12");
+  ASSERT_TRUE(l2.has_value());
+  EXPECT_EQ(l2->signal, "req");
+  EXPECT_EQ(l2->dir, Dir::kMinus);
+  EXPECT_EQ(l2->instance, 12u);
+}
+
+TEST(LabelText, ParseInvalid) {
+  EXPECT_FALSE(parse_label_text("p1").has_value());
+  EXPECT_FALSE(parse_label_text("+a").has_value());
+  EXPECT_FALSE(parse_label_text("a+/").has_value());
+  EXPECT_FALSE(parse_label_text("a+/x").has_value());
+  EXPECT_FALSE(parse_label_text("a+/0").has_value());
+  EXPECT_FALSE(parse_label_text("a+2").has_value());
+}
+
+}  // namespace
+}  // namespace stgcheck::stg

@@ -1,0 +1,125 @@
+// Diagnostic witnesses: the traces must replay from the initial marking
+// and actually exhibit the reported violation.
+#include <gtest/gtest.h>
+
+#include "sg/witnesses.hpp"
+#include "stg/dot_export.hpp"
+#include "stg/generators.hpp"
+
+namespace stgcheck::sg {
+namespace {
+
+/// Replays a trace of labels from the initial marking; returns the state
+/// index it ends in.
+std::size_t replay(const StateGraph& graph, const Trace& trace) {
+  std::size_t state = 0;
+  for (const std::string& label : trace) {
+    bool advanced = false;
+    for (const SgEdge& e : graph.edges[state]) {
+      if (graph.stg->format_label(e.transition) == label) {
+        state = e.target;
+        advanced = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(advanced) << "trace step " << label << " not firable";
+  }
+  return state;
+}
+
+TEST(Witnesses, TraceToStateReplays) {
+  StateGraph g = build_state_graph(stg::examples::vme_read());
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    Trace trace = trace_to_state(g, s);
+    EXPECT_EQ(replay(g, trace), s);
+  }
+}
+
+TEST(Witnesses, TraceToInitialIsEmpty) {
+  StateGraph g = build_state_graph(stg::examples::pulse_cycle());
+  EXPECT_TRUE(trace_to_state(g, 0).empty());
+  EXPECT_EQ(format_trace({}), "(initial state)");
+}
+
+TEST(Witnesses, CscWitnessShowsTheClash) {
+  StateGraph g = build_state_graph(stg::examples::pulse_cycle());
+  auto witnesses = explain_csc_violations(g);
+  ASSERT_FALSE(witnesses.empty());
+  const CscWitness& w = witnesses[0];
+  EXPECT_EQ(g.stg->signal_name(w.signal), "b");
+  EXPECT_EQ(w.code, "10");
+  // Both traces replay and land on states with the witness code.
+  const std::size_t excited = replay(g, w.excited_trace);
+  const std::size_t quiescent = replay(g, w.quiescent_trace);
+  EXPECT_EQ(g.code_string(excited), w.code);
+  EXPECT_EQ(g.code_string(quiescent), w.code);
+  // The excited state really excites b; the quiescent one does not.
+  EXPECT_TRUE(g.signal_enabled(excited, w.signal));
+  EXPECT_FALSE(g.signal_enabled(quiescent, w.signal));
+  // And the pretty form mentions the signal.
+  EXPECT_NE(w.pretty(*g.stg).find("signal b"), std::string::npos);
+}
+
+TEST(Witnesses, VmeReadWitnesses) {
+  StateGraph g = build_state_graph(stg::examples::vme_read());
+  auto witnesses = explain_csc_violations(g);
+  ASSERT_FALSE(witnesses.empty());
+  for (const CscWitness& w : witnesses) {
+    EXPECT_EQ(g.code_string(replay(g, w.excited_trace)), w.code);
+    EXPECT_EQ(g.code_string(replay(g, w.quiescent_trace)), w.code);
+  }
+}
+
+TEST(Witnesses, PersistencyWitnessReachesConflict) {
+  StateGraph g = build_state_graph(stg::examples::mutex2());
+  auto witnesses = explain_persistency_violations(g);
+  ASSERT_FALSE(witnesses.empty());
+  for (const PersistencyWitness& w : witnesses) {
+    const std::size_t state = replay(g, w.trace_to_conflict);
+    EXPECT_TRUE(g.signal_enabled(state, w.victim));
+    EXPECT_NE(w.pretty(*g.stg).find("disabled by"), std::string::npos);
+  }
+}
+
+TEST(Witnesses, ArbitrationSilencesPersistencyWitnesses) {
+  stg::Stg s = stg::examples::mutex2();
+  StateGraph g = build_state_graph(s);
+  PersistencyOptions options;
+  options.arbitration_pairs.push_back(
+      {s.find_signal("g1"), s.find_signal("g2")});
+  EXPECT_TRUE(explain_persistency_violations(g, options).empty());
+}
+
+TEST(DotExport, ContainsNodesAndMarks) {
+  stg::Stg s = stg::examples::mutex2();
+  const std::string dot = stg::to_dot(s);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("r1+"), std::string::npos);
+  EXPECT_NE(dot.find("g2-"), std::string::npos);
+  EXPECT_NE(dot.find("free"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=black"), std::string::npos);  // marked place
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);     // input signal
+}
+
+TEST(DotExport, CollapsesImplicitPlaces) {
+  stg::Stg s = stg::examples::vme_read();
+  stg::DotOptions options;
+  options.collapse_implicit_places = true;
+  const std::string collapsed = stg::to_dot(s, options);
+  options.collapse_implicit_places = false;
+  const std::string full = stg::to_dot(s, options);
+  // The collapsed form has fewer nodes (implicit places vanish).
+  EXPECT_LT(collapsed.size(), full.size());
+  // Marked implicit places always stay visible (they carry tokens).
+  EXPECT_NE(collapsed.find("fillcolor=black"), std::string::npos);
+}
+
+TEST(DotExport, HorizontalLayout) {
+  stg::DotOptions options;
+  options.horizontal = true;
+  EXPECT_NE(stg::to_dot(stg::examples::pulse_cycle(), options).find("rankdir=LR"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace stgcheck::sg
