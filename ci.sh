@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus strict warnings on the library targets.
+# Mirrors .github/workflows/ci.yml for offline use.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+
+cmake -B "$BUILD_DIR" -S . -DSTGCHECK_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

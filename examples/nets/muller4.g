@@ -1,0 +1,23 @@
+.model muller4
+.inputs in
+.outputs c1 c2 c3 c4
+.graph
+in+ c1+
+in- c1-
+c1+ c2+
+c1+ in-
+c1- c2-
+c1- in+
+c2+ c1-
+c2+ c3+
+c2- c1+
+c2- c3-
+c3+ c2-
+c3+ c4+
+c3- c2+
+c3- c4-
+c4+ c3-
+c4- c3+
+.marking { <c2-,c1+> <c3-,c2+> <c4-,c3+> <c1-,in+> }
+.initial_values in=0 c1=0 c2=0 c3=0 c4=0
+.end

@@ -1,0 +1,27 @@
+.model mutex2
+.inputs r1 r2
+.outputs g1 g2
+.graph
+r1+ req1
+g1+ cs1
+r1- done1
+g1- idle1
+g1- free
+r2+ req2
+g2+ cs2
+r2- done2
+g2- idle2
+g2- free
+free g1+
+free g2+
+idle1 r1+
+req1 g1+
+cs1 r1-
+done1 g1-
+idle2 r2+
+req2 g2+
+cs2 r2-
+done2 g2-
+.marking { free idle1 idle2 }
+.initial_values r1=0 g1=0 r2=0 g2=0
+.end

@@ -1,0 +1,18 @@
+.model vme_read
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack-
+d- lds-
+dtack- dsr+
+lds- ldtack-
+ldtack- lds+
+.marking { <dtack-,dsr+> <ldtack-,lds+> }
+.initial_values dsr=0 ldtack=0 lds=0 d=0 dtack=0
+.end

@@ -5,6 +5,8 @@
 //     --ordering  O     interleaved | clustered | declaration |
 //                       signals-first | random
 //     --strategy  S     chaining | bfs | fixpoint
+//     --engine    E     cofactor | monolithic | partitioned
+//                       (image backend; see docs/architecture.md)
 //     --equations       also derive and print the complex-gate netlist
 //     --explain         print firing-trace witnesses for CSC/persistency
 //                       violations (uses the explicit engine)
@@ -34,6 +36,7 @@ void usage() {
       "  --ordering  O     interleaved | clustered | declaration |\n"
       "                    signals-first | random\n"
       "  --strategy  S     chaining | bfs | fixpoint\n"
+      "  --engine    E     cofactor | monolithic | partitioned\n"
       "  --equations       derive and print the complex-gate netlist\n"
       "  --explain         print firing-trace witnesses for violations\n"
       "  --dot             print the STG as Graphviz dot\n"
@@ -97,6 +100,18 @@ int main(int argc, char** argv) {
         options.strategy = core::TraversalStrategy::kFullFixpoint;
       } else {
         std::fprintf(stderr, "unknown strategy %s\n", s.c_str());
+        return 1;
+      }
+    } else if (arg == "--engine") {
+      const std::string e = next_arg();
+      if (e == "cofactor") {
+        options.engine = core::EngineKind::kCofactor;
+      } else if (e == "monolithic") {
+        options.engine = core::EngineKind::kMonolithicRelation;
+      } else if (e == "partitioned") {
+        options.engine = core::EngineKind::kPartitionedRelation;
+      } else {
+        std::fprintf(stderr, "unknown engine %s\n", e.c_str());
         return 1;
       }
     } else if (arg == "--equations") {

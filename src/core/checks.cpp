@@ -38,7 +38,8 @@ Bdd witness_cube(SymbolicStg& sym, const Bdd& set) {
 // ---------------------------------------------------------------------------
 
 std::vector<SymTransitionPersistencyViolation> transition_persistency(
-    SymbolicStg& sym, const Bdd& reached) {
+    ImageEngine& engine, const Bdd& reached) {
+  SymbolicStg& sym = engine.sym();
   std::vector<SymTransitionPersistencyViolation> result;
   const pn::PetriNet& net = sym.stg().net();
   for (const auto& [t1, t2] : conflict_pairs(net)) {
@@ -48,7 +49,7 @@ std::vector<SymTransitionPersistencyViolation> transition_persistency(
       // victim must still be enabled.
       const Bdd enabled = reached & sym.enabling_cube(victim);
       if (enabled.is_false()) continue;
-      const Bdd after = sym.image(enabled, disabler);
+      const Bdd after = engine.image_via(enabled, disabler);
       const Bdd bad = after.minus(sym.enabling_cube(victim));
       if (!bad.is_false()) {
         result.push_back(SymTransitionPersistencyViolation{
@@ -59,8 +60,16 @@ std::vector<SymTransitionPersistencyViolation> transition_persistency(
   return result;
 }
 
+std::vector<SymTransitionPersistencyViolation> transition_persistency(
+    SymbolicStg& sym, const Bdd& reached) {
+  CofactorEngine engine(sym);
+  return transition_persistency(engine, reached);
+}
+
 std::vector<SymPersistencyViolation> signal_persistency(
-    SymbolicStg& sym, const Bdd& reached, const SymPersistencyOptions& options) {
+    ImageEngine& engine, const Bdd& reached,
+    const SymPersistencyOptions& options) {
+  SymbolicStg& sym = engine.sym();
   std::vector<SymPersistencyViolation> result;
   const stg::Stg& stg = sym.stg();
   const pn::PetriNet& net = stg.net();
@@ -96,7 +105,7 @@ std::vector<SymPersistencyViolation> signal_persistency(
       // whole signal (same direction, any instance) must still be enabled.
       const Bdd enabled = reached & sym.enabling_cube(ti);
       if (enabled.is_false()) continue;
-      const Bdd after = sym.image(enabled, tj);
+      const Bdd after = engine.image_via(enabled, tj);
       const Bdd still = sym.enabled_signal(victim, li.dir);
       const Bdd bad = after.minus(still);
       if (!bad.is_false()) {
@@ -107,6 +116,12 @@ std::vector<SymPersistencyViolation> signal_persistency(
     }
   }
   return result;
+}
+
+std::vector<SymPersistencyViolation> signal_persistency(
+    SymbolicStg& sym, const Bdd& reached, const SymPersistencyOptions& options) {
+  CofactorEngine engine(sym);
+  return signal_persistency(engine, reached, options);
 }
 
 // ---------------------------------------------------------------------------
@@ -172,8 +187,9 @@ SymCscResult check_csc(SymbolicStg& sym, const Bdd& reached) {
 // CSC-reducibility
 // ---------------------------------------------------------------------------
 
-SymReducibilityResult check_csc_reducibility(SymbolicStg& sym,
+SymReducibilityResult check_csc_reducibility(ImageEngine& engine,
                                              const Bdd& reached) {
+  SymbolicStg& sym = engine.sym();
   SymReducibilityResult result;
   const stg::Stg& stg = sym.stg();
   const pn::PetriNet& net = stg.net();
@@ -207,7 +223,7 @@ SymReducibilityResult check_csc_reducibility(SymbolicStg& sym,
     while (changed) {
       changed = false;
       for (pn::TransitionId t : input_transitions) {
-        const Bdd pre = sym.preimage(frozen, t) & reached;
+        const Bdd pre = engine.preimage_via(frozen, t) & reached;
         const Bdd fresh = pre.minus(frozen);
         if (!fresh.is_false()) {
           frozen |= fresh;
@@ -220,7 +236,7 @@ SymReducibilityResult check_csc_reducibility(SymbolicStg& sym,
     while (changed) {
       changed = false;
       for (pn::TransitionId t : input_transitions) {
-        const Bdd post = sym.image(frozen, t) & reached;
+        const Bdd post = engine.image_via(frozen, t) & reached;
         const Bdd fresh = post.minus(frozen);
         if (!fresh.is_false()) {
           frozen |= fresh;
@@ -238,12 +254,19 @@ SymReducibilityResult check_csc_reducibility(SymbolicStg& sym,
   return result;
 }
 
+SymReducibilityResult check_csc_reducibility(SymbolicStg& sym,
+                                             const Bdd& reached) {
+  CofactorEngine engine(sym);
+  return check_csc_reducibility(engine, reached);
+}
+
 // ---------------------------------------------------------------------------
 // Fake conflicts
 // ---------------------------------------------------------------------------
 
-std::vector<SymFakeConflictReport> analyze_fake_conflicts(SymbolicStg& sym,
+std::vector<SymFakeConflictReport> analyze_fake_conflicts(ImageEngine& engine,
                                                           const Bdd& reached) {
+  SymbolicStg& sym = engine.sym();
   std::vector<SymFakeConflictReport> result;
   const stg::Stg& stg = sym.stg();
   const pn::PetriNet& net = stg.net();
@@ -257,7 +280,7 @@ std::vector<SymFakeConflictReport> analyze_fake_conflicts(SymbolicStg& sym,
     if (li.is_dummy()) return;
     const Bdd enabled = reached & sym.enabling_cube(ti) & sym.enabling_cube(tj);
     if (enabled.is_false()) return;
-    const Bdd after = sym.image(enabled, tj);
+    const Bdd after = engine.image_via(enabled, tj);
     for (pn::TransitionId tk : stg.transitions_of(li.signal, li.dir)) {
       if (tk == ti || tk == tj) continue;
       if (!(after & sym.enabling_cube(tk)).is_false()) fake = true;
@@ -278,10 +301,17 @@ std::vector<SymFakeConflictReport> analyze_fake_conflicts(SymbolicStg& sym,
   return result;
 }
 
-SymFakeFreedomResult check_fake_freedom(SymbolicStg& sym, const Bdd& reached) {
+std::vector<SymFakeConflictReport> analyze_fake_conflicts(SymbolicStg& sym,
+                                                          const Bdd& reached) {
+  CofactorEngine engine(sym);
+  return analyze_fake_conflicts(engine, reached);
+}
+
+SymFakeFreedomResult check_fake_freedom(ImageEngine& engine, const Bdd& reached) {
+  SymbolicStg& sym = engine.sym();
   SymFakeFreedomResult result;
   const stg::Stg& stg = sym.stg();
-  for (const SymFakeConflictReport& report : analyze_fake_conflicts(sym, reached)) {
+  for (const SymFakeConflictReport& report : analyze_fake_conflicts(engine, reached)) {
     const TransitionLabel& l1 = stg.label(report.t1);
     const TransitionLabel& l2 = stg.label(report.t2);
     const bool involves_noninput =
@@ -294,6 +324,11 @@ SymFakeFreedomResult check_fake_freedom(SymbolicStg& sym, const Bdd& reached) {
     }
   }
   return result;
+}
+
+SymFakeFreedomResult check_fake_freedom(SymbolicStg& sym, const Bdd& reached) {
+  CofactorEngine engine(sym);
+  return check_fake_freedom(engine, reached);
 }
 
 }  // namespace stgcheck::core

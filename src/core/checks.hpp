@@ -11,12 +11,19 @@
 //
 // Every function has an explicit twin in src/sg/explicit_checks.hpp with
 // identical semantics; the cross-validation tests enforce agreement.
+//
+// Checks that fire transitions (persistency, fake conflicts,
+// CSC-reducibility) take an ImageEngine&, so they run unchanged on any
+// backend (cofactor, monolithic relation, partitioned relations). The
+// SymbolicStg& overloads are conveniences that use the paper's cofactor
+// backend.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/encoding.hpp"
+#include "core/image_engine.hpp"
 #include "core/traversal.hpp"
 
 namespace stgcheck::core {
@@ -35,6 +42,8 @@ struct SymTransitionPersistencyViolation {
 /// Fig. 6(a): for every pair of transitions in structural conflict, is the
 /// victim still enabled after the disabler fires?
 std::vector<SymTransitionPersistencyViolation> transition_persistency(
+    ImageEngine& engine, const bdd::Bdd& reached);
+std::vector<SymTransitionPersistencyViolation> transition_persistency(
     SymbolicStg& sym, const bdd::Bdd& reached);
 
 struct SymPersistencyViolation {
@@ -52,6 +61,9 @@ struct SymPersistencyOptions {
 
 /// Fig. 6(b) restricted to the Def. 3.2 conditions: a non-input signal
 /// disabled by anything, or an input signal disabled by a non-input.
+std::vector<SymPersistencyViolation> signal_persistency(
+    ImageEngine& engine, const bdd::Bdd& reached,
+    const SymPersistencyOptions& options = {});
 std::vector<SymPersistencyViolation> signal_persistency(
     SymbolicStg& sym, const bdd::Bdd& reached,
     const SymPersistencyOptions& options = {});
@@ -110,6 +122,8 @@ struct SymReducibilityResult {
 /// input transitions (within `reached`), and test whether a contradictory
 /// excited state is hit -- that is a mutually complementary input
 /// sequence, which no internal signal insertion can break.
+SymReducibilityResult check_csc_reducibility(ImageEngine& engine,
+                                             const bdd::Bdd& reached);
 SymReducibilityResult check_csc_reducibility(SymbolicStg& sym,
                                              const bdd::Bdd& reached);
 
@@ -129,6 +143,8 @@ struct SymFakeConflictReport {
   bool asymmetric_fake() const { return fake_against_t1 != fake_against_t2; }
 };
 
+std::vector<SymFakeConflictReport> analyze_fake_conflicts(ImageEngine& engine,
+                                                          const bdd::Bdd& reached);
 std::vector<SymFakeConflictReport> analyze_fake_conflicts(SymbolicStg& sym,
                                                           const bdd::Bdd& reached);
 
@@ -139,6 +155,7 @@ struct SymFakeFreedomResult {
 
 /// Sec. 3.5 acceptance rule: no symmetric fakes, no asymmetric fakes
 /// involving a non-input signal.
+SymFakeFreedomResult check_fake_freedom(ImageEngine& engine, const bdd::Bdd& reached);
 SymFakeFreedomResult check_fake_freedom(SymbolicStg& sym, const bdd::Bdd& reached);
 
 }  // namespace stgcheck::core

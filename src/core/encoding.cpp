@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "core/image_engine.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -272,60 +273,16 @@ Bdd SymbolicStg::initial_state() const {
 // ---------------------------------------------------------------------------
 // Image and preimage
 // ---------------------------------------------------------------------------
+// The delta pipeline lives in the engine layer (core/image_engine.cpp);
+// these members delegate so pre-engine call sites keep working.
 
 Bdd SymbolicStg::image(const Bdd& states, pn::TransitionId t,
                        Bdd* unsafe_out) const {
-  // The paper's pipeline: select the enabled part and drop the preset
-  // variables (cofactor by E(t)), set the preset to empty, check/cofactor
-  // the postset empty, then set the postset full.
-  if (unsafe_out != nullptr) {
-    // States where firing t would deposit a second token: t is enabled and
-    // some successor place outside the preset is already marked.
-    const pn::PetriNet& net = stg_->net();
-    const std::vector<pn::PlaceId>& pre = net.preset(t);
-    Bdd marked_successor = manager_->bdd_false();
-    for (pn::PlaceId p : net.postset(t)) {
-      if (std::find(pre.begin(), pre.end(), p) != pre.end()) continue;
-      marked_successor |= manager_->var(place_vars_[p]);
-    }
-    *unsafe_out = states & e_[t] & marked_successor;
-  }
-  Bdd step = manager_->cofactor(states, e_[t]);
-  step &= npm_[t];
-  step = manager_->cofactor(step, nsm_[t]);
-  step &= asm_[t];
-  if (step.is_false()) return step;
-  return signal_flip_forward(step, t);
-}
-
-Bdd SymbolicStg::signal_flip_forward(const Bdd& set, pn::TransitionId t) const {
-  const stg::TransitionLabel& label = stg_->label(t);
-  if (label.is_dummy()) return set;
-  const Bdd sig = manager_->var(signal_vars_[label.signal]);
-  if (label.dir == stg::Dir::kPlus) {
-    // Keep the (consistent) a = 0 part and raise the bit. States with
-    // a = 1 would be inconsistent firings; the consistency check reports
-    // them, the image simply never creates them (Sec. 5.1).
-    return manager_->cofactor(set, !sig) & sig;
-  }
-  return manager_->cofactor(set, sig) & !sig;
+  return cofactor_image(*this, states, t, unsafe_out);
 }
 
 Bdd SymbolicStg::preimage(const Bdd& states, pn::TransitionId t) const {
-  // The exact inverse: swap the roles of the four cubes and flip the
-  // signal the other way.
-  Bdd step = manager_->cofactor(states, asm_[t]);
-  step &= nsm_[t];
-  step = manager_->cofactor(step, npm_[t]);
-  step &= e_[t];
-  if (step.is_false()) return step;
-  const stg::TransitionLabel& label = stg_->label(t);
-  if (label.is_dummy()) return step;
-  const Bdd sig = manager_->var(signal_vars_[label.signal]);
-  if (label.dir == stg::Dir::kPlus) {
-    return manager_->cofactor(step, sig) & !sig;  // a was 0 before a+
-  }
-  return manager_->cofactor(step, !sig) & sig;  // a was 1 before a-
+  return cofactor_preimage(*this, states, t);
 }
 
 // ---------------------------------------------------------------------------

@@ -104,6 +104,9 @@ class SymbolicStg {
   bdd::Bdd marking_cube(const pn::Marking& m) const;
 
   // ---- Image computation -----------------------------------------------------
+  // Thin delegates to the cofactor pipeline in core/image_engine.hpp; new
+  // code should go through an ImageEngine, which makes the backend
+  // swappable (cofactor vs. transition relations).
 
   /// delta_D(states, t): successors of `states` under t. If `unsafe_out`
   /// is non-null it receives the subset of `states` from which firing t
@@ -127,7 +130,6 @@ class SymbolicStg {
  private:
   void order_variables(Ordering ordering);
   void build_cubes();
-  bdd::Bdd signal_flip_forward(const bdd::Bdd& set, pn::TransitionId t) const;
 
   std::shared_ptr<const stg::Stg> stg_;
   std::unique_ptr<bdd::Manager> manager_;

@@ -1,0 +1,401 @@
+#include "core/image_engine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace stgcheck::core {
+
+using bdd::Bdd;
+using bdd::Var;
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kCofactor: return "cofactor";
+    case EngineKind::kMonolithicRelation: return "monolithic";
+    case EngineKind::kPartitionedRelation: return "partitioned";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// The delta_N pipeline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// BDD operations mutate only the manager's caches; the encoding itself is
+/// logically const. (SymbolicStg::image was a const member for the same
+/// reason.)
+bdd::Manager& mgr(const SymbolicStg& sym) {
+  return const_cast<SymbolicStg&>(sym).manager();
+}
+
+/// OR of the place literals a firing of `t` produces into without
+/// consuming from: the states where those are already marked are exactly
+/// the safeness violations of `t`.
+Bdd marked_successor_cube(const SymbolicStg& sym, pn::TransitionId t) {
+  bdd::Manager& m = mgr(sym);
+  const pn::PetriNet& net = sym.stg().net();
+  const std::vector<pn::PlaceId>& pre = net.preset(t);
+  Bdd marked = m.bdd_false();
+  for (pn::PlaceId p : net.postset(t)) {
+    if (std::find(pre.begin(), pre.end(), p) != pre.end()) continue;
+    marked |= m.var(sym.place_var(p));
+  }
+  return marked;
+}
+
+/// Keep the consistent half of `set` and flip the fired signal's bit.
+/// States with the signal already at its post-transition value would be
+/// inconsistent firings; the consistency check reports them, the image
+/// simply never creates them (Sec. 5.1).
+Bdd signal_flip_forward(const SymbolicStg& sym, const Bdd& set,
+                        pn::TransitionId t) {
+  const stg::TransitionLabel& label = sym.stg().label(t);
+  if (label.is_dummy()) return set;
+  bdd::Manager& m = mgr(sym);
+  const Bdd sig = m.var(sym.signal_var(label.signal));
+  if (label.dir == stg::Dir::kPlus) {
+    return m.cofactor(set, !sig) & sig;
+  }
+  return m.cofactor(set, sig) & !sig;
+}
+
+}  // namespace
+
+Bdd cofactor_image(const SymbolicStg& sym, const Bdd& states,
+                   pn::TransitionId t, Bdd* unsafe_out) {
+  // The paper's pipeline: select the enabled part and drop the preset
+  // variables (cofactor by E(t)), set the preset to empty, check/cofactor
+  // the postset empty, then set the postset full.
+  bdd::Manager& m = mgr(sym);
+  if (unsafe_out != nullptr) {
+    *unsafe_out = states & sym.enabling_cube(t) & marked_successor_cube(sym, t);
+  }
+  Bdd step = m.cofactor(states, sym.enabling_cube(t));
+  step &= sym.npm_cube(t);
+  step = m.cofactor(step, sym.nsm_cube(t));
+  step &= sym.asm_cube(t);
+  if (step.is_false()) return step;
+  return signal_flip_forward(sym, step, t);
+}
+
+Bdd cofactor_preimage(const SymbolicStg& sym, const Bdd& states,
+                      pn::TransitionId t) {
+  // The exact inverse: swap the roles of the four cubes and flip the
+  // signal the other way.
+  bdd::Manager& m = mgr(sym);
+  Bdd step = m.cofactor(states, sym.asm_cube(t));
+  step &= sym.nsm_cube(t);
+  step = m.cofactor(step, sym.npm_cube(t));
+  step &= sym.enabling_cube(t);
+  if (step.is_false()) return step;
+  const stg::TransitionLabel& label = sym.stg().label(t);
+  if (label.is_dummy()) return step;
+  const Bdd sig = m.var(sym.signal_var(label.signal));
+  if (label.dir == stg::Dir::kPlus) {
+    return m.cofactor(step, sig) & !sig;  // a was 0 before a+
+  }
+  return m.cofactor(step, !sig) & sig;  // a was 1 before a-
+}
+
+// ---------------------------------------------------------------------------
+// ImageEngine base
+// ---------------------------------------------------------------------------
+
+ImageEngine::ImageEngine(SymbolicStg& sym)
+    : sym_(sym),
+      marked_successor_(sym.stg().net().transition_count()),
+      marked_successor_built_(sym.stg().net().transition_count(), false) {}
+
+Bdd ImageEngine::image(const Bdd& states) {
+  Bdd result = sym_.manager().bdd_false();
+  for (std::size_t u = 0; u < unit_count(); ++u) {
+    result |= image_unit(states, u);
+  }
+  return result;
+}
+
+Bdd ImageEngine::preimage(const Bdd& states) {
+  Bdd result = sym_.manager().bdd_false();
+  const pn::PetriNet& net = sym_.stg().net();
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    result |= preimage_via(states, t);
+  }
+  return result;
+}
+
+Bdd ImageEngine::unsafe_states(const Bdd& states, pn::TransitionId t) {
+  if (!marked_successor_built_[t]) {
+    marked_successor_[t] = marked_successor_cube(sym_, t);
+    marked_successor_built_[t] = true;
+  }
+  const Bdd& ms = marked_successor_[t];
+  if (ms.is_false()) return sym_.manager().bdd_false();
+  if (states.disjoint_with(sym_.enabling_cube(t))) {
+    return sym_.manager().bdd_false();
+  }
+  return states & sym_.enabling_cube(t) & ms;
+}
+
+// ---------------------------------------------------------------------------
+// CofactorEngine
+// ---------------------------------------------------------------------------
+
+CofactorEngine::CofactorEngine(SymbolicStg& sym) : ImageEngine(sym) {
+  const std::size_t n = sym.stg().net().transition_count();
+  units_.reserve(n);
+  for (pn::TransitionId t = 0; t < n; ++t) {
+    units_.push_back({t});
+  }
+  stats_.units = n;
+}
+
+Bdd CofactorEngine::image_via(const Bdd& states, pn::TransitionId t) {
+  ++stats_.image_calls;
+  return cofactor_image(sym_, states, t);
+}
+
+Bdd CofactorEngine::preimage_via(const Bdd& states, pn::TransitionId t) {
+  ++stats_.preimage_calls;
+  return cofactor_preimage(sym_, states, t);
+}
+
+Bdd CofactorEngine::image_unit(const Bdd& states, std::size_t u) {
+  return image_via(states, units_[u][0]);
+}
+
+// ---------------------------------------------------------------------------
+// MonolithicRelationEngine
+// ---------------------------------------------------------------------------
+
+MonolithicRelationEngine::MonolithicRelationEngine(SymbolicStg& sym)
+    : ImageEngine(sym) {
+  const pn::PetriNet& net = sym.stg().net();
+  relations_.reserve(net.transition_count());
+  monolithic_ = sym.manager().bdd_false();
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    relations_.push_back(build_full_relation(sym, t));
+    monolithic_ |= relations_.back();
+    all_transitions_.push_back(t);
+  }
+  stats_.units = 1;
+  stats_.relation_nodes = sym.manager().count_nodes(monolithic_);
+}
+
+Bdd MonolithicRelationEngine::apply(const Bdd& states, const Bdd& relation) {
+  bdd::Manager& m = sym_.manager();
+  const Bdd next_primed = m.and_exists(states, relation, sym_.state_cube());
+  return m.permute(next_primed, sym_.from_primed());
+}
+
+Bdd MonolithicRelationEngine::image(const Bdd& states) {
+  ++stats_.image_calls;
+  return apply(states, monolithic_);
+}
+
+Bdd MonolithicRelationEngine::image_via(const Bdd& states, pn::TransitionId t) {
+  ++stats_.image_calls;
+  return apply(states, relations_[t]);
+}
+
+Bdd MonolithicRelationEngine::preimage(const Bdd& states) {
+  ++stats_.preimage_calls;
+  bdd::Manager& m = sym_.manager();
+  const Bdd primed_states = m.permute(states, sym_.to_primed());
+  return m.and_exists(primed_states, monolithic_, sym_.primed_cube());
+}
+
+Bdd MonolithicRelationEngine::preimage_via(const Bdd& states,
+                                           pn::TransitionId t) {
+  ++stats_.preimage_calls;
+  bdd::Manager& m = sym_.manager();
+  const Bdd primed_states = m.permute(states, sym_.to_primed());
+  return m.and_exists(primed_states, relations_[t], sym_.primed_cube());
+}
+
+Bdd MonolithicRelationEngine::image_unit(const Bdd& states, std::size_t) {
+  return image(states);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedRelationEngine
+// ---------------------------------------------------------------------------
+
+PartitionedRelationEngine::PartitionedRelationEngine(SymbolicStg& sym,
+                                                     const EngineOptions& options)
+    : ImageEngine(sym), cap_(options.cluster_node_cap) {
+  const pn::PetriNet& net = sym.stg().net();
+  sparse_.reserve(net.transition_count());
+  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+    sparse_.push_back(build_sparse_relation(sym, t));
+  }
+  sparse_apply_.resize(net.transition_count());
+  build_clusters();
+  stats_.units = clusters_.size();
+  std::vector<Bdd> rels;
+  rels.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) rels.push_back(c.rel);
+  stats_.relation_nodes = sym.manager().count_nodes(rels);
+}
+
+void PartitionedRelationEngine::build_clusters() {
+  bdd::Manager& m = sym_.manager();
+  for (const TransitionRelation& r : sparse_) {
+    // Candidate clusters ranked by shared support (descending); merging
+    // into a disjoint-support cluster would only add frame padding.
+    std::vector<std::pair<std::size_t, std::size_t>> candidates;  // (shared, idx)
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      std::vector<Var> shared;
+      std::set_intersection(clusters_[c].support.begin(),
+                            clusters_[c].support.end(), r.support.begin(),
+                            r.support.end(), std::back_inserter(shared));
+      if (!shared.empty()) candidates.push_back({shared.size(), c});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+
+    bool merged = false;
+    for (const auto& [shared, idx] : candidates) {
+      (void)shared;
+      Cluster& c = clusters_[idx];
+      std::vector<Var> new_support;
+      std::set_union(c.support.begin(), c.support.end(), r.support.begin(),
+                     r.support.end(), std::back_inserter(new_support));
+      // Pad each side with the frame of the variables only the other
+      // side touches, so the disjunction keeps them unchanged.
+      std::vector<Var> pad_cluster;
+      std::set_difference(new_support.begin(), new_support.end(),
+                          c.support.begin(), c.support.end(),
+                          std::back_inserter(pad_cluster));
+      std::vector<Var> pad_member;
+      std::set_difference(new_support.begin(), new_support.end(),
+                          r.support.begin(), r.support.end(),
+                          std::back_inserter(pad_member));
+      const Bdd candidate_rel = (c.rel & frame_constraint(sym_, pad_cluster)) |
+                                (r.rel & frame_constraint(sym_, pad_member));
+      if (m.count_nodes(candidate_rel) > cap_) continue;
+      c.rel = candidate_rel;
+      c.support = std::move(new_support);
+      c.transitions.push_back(r.t);
+      merged = true;
+      break;
+    }
+    if (!merged) {
+      Cluster c;
+      c.transitions.push_back(r.t);
+      c.rel = r.rel;
+      c.support = r.support;
+      clusters_.push_back(std::move(c));
+    }
+  }
+  for (Cluster& c : clusters_) finalize_cluster(c);
+}
+
+void PartitionedRelationEngine::finalize_cluster(Cluster& c) {
+  bdd::Manager& m = sym_.manager();
+  c.quant_cube = m.positive_cube(c.support);
+  const std::vector<Var>& to_primed = sym_.to_primed();
+  std::vector<Var> primed;
+  primed.reserve(c.support.size());
+  c.rename_to_primed.resize(m.var_count());
+  for (Var v = 0; v < c.rename_to_primed.size(); ++v) c.rename_to_primed[v] = v;
+  for (Var v : c.support) {
+    primed.push_back(to_primed[v]);
+    c.rename_to_primed[v] = to_primed[v];
+  }
+  c.primed_quant_cube = m.positive_cube(primed);
+}
+
+Bdd PartitionedRelationEngine::apply_sparse(const Bdd& states, const Bdd& rel,
+                                            const Bdd& quant_cube) {
+  // Early quantification: only the variables the relation constrains are
+  // quantified; everything else flows through `states` untouched, which is
+  // the frame condition for free.
+  bdd::Manager& m = sym_.manager();
+  const Bdd next_primed = m.and_exists(states, rel, quant_cube);
+  return m.permute(next_primed, sym_.from_primed());
+}
+
+Bdd PartitionedRelationEngine::image_unit(const Bdd& states, std::size_t u) {
+  ++stats_.image_calls;
+  const Cluster& c = clusters_[u];
+  return apply_sparse(states, c.rel, c.quant_cube);
+}
+
+const PartitionedRelationEngine::SparseApply& PartitionedRelationEngine::sparse_apply(
+    pn::TransitionId t) {
+  SparseApply& a = sparse_apply_[t];
+  if (!a.built) {
+    bdd::Manager& m = sym_.manager();
+    const std::vector<Var>& to_primed = sym_.to_primed();
+    a.quant_cube = m.positive_cube(sparse_[t].support);
+    a.rename_to_primed.resize(m.var_count());
+    for (Var v = 0; v < a.rename_to_primed.size(); ++v) a.rename_to_primed[v] = v;
+    std::vector<Var> primed;
+    for (Var v : sparse_[t].support) {
+      a.rename_to_primed[v] = to_primed[v];
+      primed.push_back(to_primed[v]);
+    }
+    a.primed_quant_cube = m.positive_cube(primed);
+    a.built = true;
+  }
+  return a;
+}
+
+Bdd PartitionedRelationEngine::image_via(const Bdd& states, pn::TransitionId t) {
+  ++stats_.image_calls;
+  return apply_sparse(states, sparse_[t].rel, sparse_apply(t).quant_cube);
+}
+
+Bdd PartitionedRelationEngine::preimage_via(const Bdd& states,
+                                            pn::TransitionId t) {
+  ++stats_.preimage_calls;
+  bdd::Manager& m = sym_.manager();
+  const SparseApply& a = sparse_apply(t);
+  const Bdd primed_states = m.permute(states, a.rename_to_primed);
+  return m.and_exists(primed_states, sparse_[t].rel, a.primed_quant_cube);
+}
+
+Bdd PartitionedRelationEngine::preimage(const Bdd& states) {
+  Bdd result = sym_.manager().bdd_false();
+  bdd::Manager& m = sym_.manager();
+  for (const Cluster& c : clusters_) {
+    ++stats_.preimage_calls;
+    const Bdd primed_states = m.permute(states, c.rename_to_primed);
+    result |= m.and_exists(primed_states, c.rel, c.primed_quant_cube);
+  }
+  return result;
+}
+
+std::size_t PartitionedRelationEngine::cluster_nodes(std::size_t c) const {
+  return sym_.manager().count_nodes(clusters_[c].rel);
+}
+
+std::vector<std::vector<Var>> PartitionedRelationEngine::quantification_schedule()
+    const {
+  std::vector<std::vector<Var>> schedule;
+  schedule.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) schedule.push_back(c.support);
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ImageEngine> make_engine(EngineKind kind, SymbolicStg& sym,
+                                         const EngineOptions& options) {
+  switch (kind) {
+    case EngineKind::kCofactor:
+      return std::make_unique<CofactorEngine>(sym);
+    case EngineKind::kMonolithicRelation:
+      return std::make_unique<MonolithicRelationEngine>(sym);
+    case EngineKind::kPartitionedRelation:
+      return std::make_unique<PartitionedRelationEngine>(sym, options);
+  }
+  throw ModelError("unknown engine kind");
+}
+
+}  // namespace stgcheck::core

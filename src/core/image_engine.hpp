@@ -1,0 +1,263 @@
+// The pluggable image-computation layer: one interface, three backends.
+//
+// Everything above the encoding -- traversal, the implementability checks,
+// the benches -- computes successor/predecessor sets through an
+// ImageEngine, never through SymbolicStg directly. That makes the paper's
+// central claim (the per-transition cofactor pipeline beats transition
+// relations) a swappable, benchmarkable choice instead of a hard-wired
+// code path, and it opens encodings the cofactor trick cannot express
+// (k-bounded places, multi-token arcs) as future backends behind the same
+// interface.
+//
+//   * CofactorEngine          -- the paper's delta_N pipeline (Sec. 4):
+//                                four cube operations per transition, no
+//                                relation ever built.
+//   * MonolithicRelationEngine -- the textbook baseline: one relation
+//                                T(V, V') = OR_t T_t, applied by a single
+//                                relational product per step.
+//   * PartitionedRelationEngine -- the fair modern baseline: sparse
+//                                per-transition relations clustered by
+//                                shared support up to a node cap, each
+//                                cluster applied with an early
+//                                quantification cube covering exactly its
+//                                own support. Under the chaining strategy
+//                                the clusters fire disjunctively in
+//                                sequence, each from the set enriched by
+//                                its predecessors.
+//
+// Traversal granularity is expressed as "units": the indivisible firing
+// steps a backend offers. The cofactor backend has one unit per
+// transition (the paper's Fig. 5 inner loop), the monolithic backend a
+// single unit, the partitioned backend one unit per cluster. traverse()
+// iterates units, so chaining, lazy initial-value binding and the on-the-
+// fly safeness/consistency checks run unchanged on every backend.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "core/relation.hpp"
+
+namespace stgcheck::core {
+
+/// Which backend computes images; TraversalOptions::engine selects one.
+enum class EngineKind {
+  kCofactor,            ///< the paper's delta_N pipeline
+  kMonolithicRelation,  ///< one relation over (V, V')
+  kPartitionedRelation, ///< support-clustered relations, early quantification
+};
+
+const char* to_string(EngineKind kind);
+
+struct EngineOptions {
+  /// Partitioned backend: stop growing a cluster once its relation BDD
+  /// exceeds this many nodes. A single transition whose sparse relation is
+  /// already larger stays a singleton cluster (a cap cannot split one
+  /// transition).
+  std::size_t cluster_node_cap = 2000;
+};
+
+struct ImageEngineStats {
+  std::size_t image_calls = 0;     ///< image / image_via / image_unit calls
+  std::size_t preimage_calls = 0;
+  std::size_t relation_nodes = 0;  ///< BDD size of the backend's relations (0 for cofactor)
+  std::size_t units = 0;           ///< firing units the backend exposes
+};
+
+/// Abstract image substrate over one SymbolicStg encoding.
+class ImageEngine {
+ public:
+  virtual ~ImageEngine() = default;
+
+  virtual const char* name() const = 0;
+  virtual EngineKind kind() const = 0;
+
+  /// Successors of `states` under every transition (one full step).
+  virtual bdd::Bdd image(const bdd::Bdd& states);
+  /// Predecessors of `states` under every transition.
+  virtual bdd::Bdd preimage(const bdd::Bdd& states);
+  /// Successors of `states` under one transition.
+  virtual bdd::Bdd image_via(const bdd::Bdd& states, pn::TransitionId t) = 0;
+  /// Predecessors of `states` under one transition.
+  virtual bdd::Bdd preimage_via(const bdd::Bdd& states, pn::TransitionId t) = 0;
+
+  // ---- Firing units (traversal granularity) -------------------------------
+
+  virtual std::size_t unit_count() const = 0;
+  /// The transitions unit `u` fires (for lazy binding and safeness
+  /// attribution in the traversal).
+  virtual const std::vector<pn::TransitionId>& unit_transitions(std::size_t u) const = 0;
+  /// Successors of `states` under every transition of unit `u`.
+  virtual bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) = 0;
+
+  // ---- Shared helpers -----------------------------------------------------
+
+  /// States of `states` from which firing `t` would deposit a second token
+  /// on a successor place. Every backend excludes such firings from its
+  /// image; this reports them so the traversal can flag the violation.
+  bdd::Bdd unsafe_states(const bdd::Bdd& states, pn::TransitionId t);
+
+  SymbolicStg& sym() { return sym_; }
+  const ImageEngineStats& stats() const { return stats_; }
+
+ protected:
+  explicit ImageEngine(SymbolicStg& sym);
+
+  SymbolicStg& sym_;
+  ImageEngineStats stats_;
+
+ private:
+  /// Lazily built per transition: OR of strict-postset place literals.
+  std::vector<bdd::Bdd> marked_successor_;
+  std::vector<bool> marked_successor_built_;
+};
+
+// ---------------------------------------------------------------------------
+// The delta_N pipeline (extracted out of SymbolicStg; SymbolicStg::image
+// and ::preimage delegate here for compatibility).
+// ---------------------------------------------------------------------------
+
+/// delta_D(states, t): ((states_E(t) . NPM(t))_NSM(t) . ASM(t) plus the
+/// fired signal's bit flip. If `unsafe_out` is non-null it receives the
+/// subset of `states` from which firing t would violate safeness (those
+/// states are excluded from the image).
+bdd::Bdd cofactor_image(const SymbolicStg& sym, const bdd::Bdd& states,
+                        pn::TransitionId t, bdd::Bdd* unsafe_out = nullptr);
+/// Exact inverse of cofactor_image on consistently-encoded safe states.
+bdd::Bdd cofactor_preimage(const SymbolicStg& sym, const bdd::Bdd& states,
+                           pn::TransitionId t);
+
+/// The paper's engine: per-transition cofactor pipeline, one unit per
+/// transition, no relations. Works on any encoding (primed or not).
+class CofactorEngine final : public ImageEngine {
+ public:
+  explicit CofactorEngine(SymbolicStg& sym);
+
+  const char* name() const override { return "cofactor"; }
+  EngineKind kind() const override { return EngineKind::kCofactor; }
+
+  bdd::Bdd image_via(const bdd::Bdd& states, pn::TransitionId t) override;
+  bdd::Bdd preimage_via(const bdd::Bdd& states, pn::TransitionId t) override;
+
+  std::size_t unit_count() const override { return units_.size(); }
+  const std::vector<pn::TransitionId>& unit_transitions(std::size_t u) const override {
+    return units_[u];
+  }
+  bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) override;
+
+ private:
+  std::vector<std::vector<pn::TransitionId>> units_;  // one transition each
+};
+
+/// The textbook baseline: full-frame per-transition relations ORed into
+/// one monolithic relation; a single relational product per step.
+/// Requires an encoding with primed variables.
+class MonolithicRelationEngine final : public ImageEngine {
+ public:
+  explicit MonolithicRelationEngine(SymbolicStg& sym);
+
+  const char* name() const override { return "monolithic"; }
+  EngineKind kind() const override { return EngineKind::kMonolithicRelation; }
+
+  bdd::Bdd image(const bdd::Bdd& states) override;
+  bdd::Bdd preimage(const bdd::Bdd& states) override;
+  bdd::Bdd image_via(const bdd::Bdd& states, pn::TransitionId t) override;
+  bdd::Bdd preimage_via(const bdd::Bdd& states, pn::TransitionId t) override;
+
+  std::size_t unit_count() const override { return 1; }
+  const std::vector<pn::TransitionId>& unit_transitions(std::size_t) const override {
+    return all_transitions_;
+  }
+  bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) override;
+
+  /// The relation of one transition.
+  const bdd::Bdd& relation(pn::TransitionId t) const { return relations_[t]; }
+  /// The monolithic relation (disjunction over all transitions).
+  const bdd::Bdd& monolithic() const { return monolithic_; }
+
+ private:
+  bdd::Bdd apply(const bdd::Bdd& states, const bdd::Bdd& relation);
+
+  std::vector<bdd::Bdd> relations_;
+  bdd::Bdd monolithic_;
+  std::vector<pn::TransitionId> all_transitions_;
+};
+
+/// Sparse per-transition relations clustered by shared support up to a
+/// node cap; each cluster carries an early-quantification cube covering
+/// exactly its own support, so untouched variables are never quantified
+/// at all. Requires an encoding with primed variables.
+class PartitionedRelationEngine final : public ImageEngine {
+ public:
+  PartitionedRelationEngine(SymbolicStg& sym, const EngineOptions& options = {});
+
+  const char* name() const override { return "partitioned"; }
+  EngineKind kind() const override { return EngineKind::kPartitionedRelation; }
+
+  bdd::Bdd preimage(const bdd::Bdd& states) override;
+  bdd::Bdd image_via(const bdd::Bdd& states, pn::TransitionId t) override;
+  bdd::Bdd preimage_via(const bdd::Bdd& states, pn::TransitionId t) override;
+
+  std::size_t unit_count() const override { return clusters_.size(); }
+  const std::vector<pn::TransitionId>& unit_transitions(std::size_t u) const override {
+    return clusters_[u].transitions;
+  }
+  bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) override;
+
+  // ---- Introspection (tests, benches, docs) ------------------------------
+
+  std::size_t cluster_count() const { return clusters_.size(); }
+  const std::vector<pn::TransitionId>& cluster_transitions(std::size_t c) const {
+    return clusters_[c].transitions;
+  }
+  /// BDD size of one cluster's relation.
+  std::size_t cluster_nodes(std::size_t c) const;
+  /// The quantification schedule: for each cluster, the unprimed state
+  /// variables its image step quantifies (== the cluster's support,
+  /// sorted by id). Every variable a transition touches is quantified in
+  /// the cluster owning that transition and nowhere else -- the earliest
+  /// legal point for a disjunctive partition.
+  std::vector<std::vector<bdd::Var>> quantification_schedule() const;
+  std::size_t cluster_node_cap() const { return cap_; }
+
+ private:
+  struct Cluster {
+    std::vector<pn::TransitionId> transitions;
+    bdd::Bdd rel;
+    std::vector<bdd::Var> support;  // unprimed, sorted by id
+    bdd::Bdd quant_cube;            // positive cube of `support`
+    bdd::Bdd primed_quant_cube;
+    std::vector<bdd::Var> rename_to_primed;  // support -> primed, id elsewhere
+  };
+
+  /// Lazily built per transition: the quantification cube (image side)
+  /// and the support-local rename map + primed cube (preimage side).
+  struct SparseApply {
+    bool built = false;
+    bdd::Bdd quant_cube;
+    bdd::Bdd primed_quant_cube;
+    std::vector<bdd::Var> rename_to_primed;
+  };
+
+  void build_clusters();
+  void finalize_cluster(Cluster& c);
+  bdd::Bdd apply_sparse(const bdd::Bdd& states, const bdd::Bdd& rel,
+                        const bdd::Bdd& quant_cube);
+  const SparseApply& sparse_apply(pn::TransitionId t);
+
+  std::size_t cap_;
+  std::vector<TransitionRelation> sparse_;  // indexed by transition
+  std::vector<SparseApply> sparse_apply_;   // per transition, lazily built
+  std::vector<Cluster> clusters_;
+};
+
+/// Builds the requested backend. The relational backends throw ModelError
+/// unless `sym` was built with primed variables.
+std::unique_ptr<ImageEngine> make_engine(EngineKind kind, SymbolicStg& sym,
+                                         const EngineOptions& options = {});
+
+/// Compatibility alias: the class previously living in core/relation.hpp.
+using RelationalEngine = MonolithicRelationEngine;
+
+}  // namespace stgcheck::core

@@ -29,10 +29,17 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
   Stopwatch total;
   Stopwatch phase;
 
+  // One engine drives the traversal and every firing check, so the whole
+  // suite runs on whichever backend the caller selected.
+  const std::unique_ptr<ImageEngine> engine =
+      make_engine(options.engine, sym, options.engine_options);
+
   // ---- Phase 1: traversal + consistency (+ safeness) ----------------------
   TraversalOptions traversal_options;
   traversal_options.strategy = options.strategy;
-  report.traversal = traverse(sym, traversal_options);
+  traversal_options.engine = options.engine;
+  traversal_options.engine_options = options.engine_options;
+  report.traversal = traverse(*engine, traversal_options);
   report.safe = report.traversal.safe;
   report.consistent = report.traversal.consistent;
   report.times.traversal_consistency = phase.restart();
@@ -61,15 +68,15 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
         popts.arbitration_pairs.push_back({s1, s2});
       }
     }
-    report.persistency_violations = signal_persistency(sym, reached, popts);
-    report.transition_conflicts = transition_persistency(sym, reached);
+    report.persistency_violations = signal_persistency(*engine, reached, popts);
+    report.transition_conflicts = transition_persistency(*engine, reached);
   }
   report.signal_persistent = report.persistency_violations.empty();
   report.times.persistency = phase.restart();
 
   // ---- Phase 3: determinism + commutativity via fake conflicts ------------
   report.deterministic = determinism_violations(sym, reached).is_false();
-  report.fake_freedom = check_fake_freedom(sym, reached);
+  report.fake_freedom = check_fake_freedom(*engine, reached);
   report.fake_free = report.fake_freedom.fake_free;
   report.times.commutativity = phase.restart();
 
@@ -80,7 +87,7 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
   if (report.csc) {
     report.csc_reducible = true;
   } else {
-    report.reducibility = check_csc_reducibility(sym, reached);
+    report.reducibility = check_csc_reducibility(*engine, reached);
     report.csc_reducible = report.reducibility.reducible;
   }
   report.times.csc = phase.restart();
@@ -104,7 +111,9 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
 
 ImplementabilityReport check_implementability(const stg::Stg& stg,
                                               const CheckOptions& options) {
-  auto sym = std::make_shared<SymbolicStg>(stg, options.ordering);
+  const bool needs_primed = options.engine != EngineKind::kCofactor;
+  auto sym = std::make_shared<SymbolicStg>(stg, options.ordering, 1 << 14,
+                                           needs_primed);
   ImplementabilityReport report = check_implementability(*sym, options);
   report.encoding = std::move(sym);  // the report's Bdds point into it
   return report;

@@ -39,6 +39,12 @@ std::string to_string(ImplementabilityLevel level);
 struct CheckOptions {
   Ordering ordering = Ordering::kInterleaved;
   TraversalStrategy strategy = TraversalStrategy::kChaining;
+  /// Image backend for the traversal and every firing check
+  /// (core/image_engine.hpp). The relational backends need an encoding
+  /// with primed variables; the convenience overload builds one
+  /// automatically when a relational engine is selected.
+  EngineKind engine = EngineKind::kCofactor;
+  EngineOptions engine_options;
   /// Arbitration points by signal name (e.g. {"g1","g2"} for an ME
   /// element); resolved against the STG at check time.
   std::vector<std::pair<std::string, std::string>> arbitration_pairs;

@@ -7,24 +7,24 @@
 namespace stgcheck::core {
 
 using bdd::Bdd;
+using bdd::Var;
 
-RelationalEngine::RelationalEngine(SymbolicStg& sym) : sym_(sym) {
+namespace {
+
+void require_primed(const SymbolicStg& sym) {
   if (!sym.has_primed_vars()) {
-    throw ModelError(
-        "RelationalEngine needs an encoding with primed variables");
-  }
-  const pn::PetriNet& net = sym.stg().net();
-  relations_.reserve(net.transition_count());
-  monolithic_ = sym.manager().bdd_false();
-  for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
-    relations_.push_back(build_relation(t));
-    monolithic_ |= relations_.back();
+    throw ModelError("transition relations need an encoding with primed "
+                     "variables (SymbolicStg(..., with_primed_vars = true))");
   }
 }
 
-Bdd RelationalEngine::build_relation(pn::TransitionId t) const {
-  bdd::Manager& m = sym_.manager();
-  const stg::Stg& stg = sym_.stg();
+/// The constraints shared by both relation flavours: token moves for the
+/// places around `t` and the fired signal's flip. Appends the touched
+/// unprimed variables to `support`.
+Bdd core_constraints(SymbolicStg& sym, pn::TransitionId t,
+                     std::vector<Var>& support) {
+  bdd::Manager& m = sym.manager();
+  const stg::Stg& stg = sym.stg();
   const pn::PetriNet& net = stg.net();
 
   const std::vector<pn::PlaceId>& pre = net.preset(t);
@@ -37,66 +37,72 @@ Bdd RelationalEngine::build_relation(pn::TransitionId t) const {
   };
 
   Bdd rel = m.bdd_true();
-  for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
-    const Bdd cur = m.var(sym_.place_var(p));
-    const Bdd nxt = m.var(sym_.primed_place_var(p));
+  const auto touch_place = [&](pn::PlaceId p) {
+    const Bdd cur = m.var(sym.place_var(p));
+    const Bdd nxt = m.var(sym.primed_place_var(p));
+    support.push_back(sym.place_var(p));
     if (in_pre(p) && in_post(p)) {
       rel &= cur & nxt;  // self-loop place: stays marked
     } else if (in_pre(p)) {
       rel &= cur & !nxt;  // consumed
-    } else if (in_post(p)) {
-      rel &= !cur & nxt;  // produced; !cur encodes the safeness premise
     } else {
-      rel &= !(cur ^ nxt);  // frame: unchanged
+      rel &= (!cur) & nxt;  // produced; !cur encodes the safeness premise
     }
+  };
+  for (pn::PlaceId p : pre) touch_place(p);
+  for (pn::PlaceId p : post) {
+    if (!in_pre(p)) touch_place(p);
   }
+
   const stg::TransitionLabel& label = stg.label(t);
-  for (stg::SignalId s = 0; s < stg.signal_count(); ++s) {
-    const Bdd cur = m.var(sym_.signal_var(s));
-    const Bdd nxt = m.var(sym_.primed_signal_var(s));
-    if (!label.is_dummy() && s == label.signal) {
-      rel &= label.dir == stg::Dir::kPlus ? (!cur & nxt) : (cur & !nxt);
-    } else {
-      rel &= !(cur ^ nxt);
-    }
+  if (!label.is_dummy()) {
+    const Bdd cur = m.var(sym.signal_var(label.signal));
+    const Bdd nxt = m.var(sym.primed_signal_var(label.signal));
+    support.push_back(sym.signal_var(label.signal));
+    rel &= label.dir == stg::Dir::kPlus ? ((!cur) & nxt) : (cur & !nxt);
   }
   return rel;
 }
 
-Bdd RelationalEngine::apply(const Bdd& states, const Bdd& relation) {
-  bdd::Manager& m = sym_.manager();
-  const Bdd next_primed = m.and_exists(states, relation, sym_.state_cube());
-  return m.permute(next_primed, sym_.from_primed());
-}
+}  // namespace
 
-Bdd RelationalEngine::image(const Bdd& states) {
-  return apply(states, monolithic_);
-}
-
-Bdd RelationalEngine::image(const Bdd& states, pn::TransitionId t) {
-  return apply(states, relations_[t]);
-}
-
-Bdd RelationalEngine::preimage(const Bdd& states) {
-  bdd::Manager& m = sym_.manager();
-  const Bdd primed_states = m.permute(states, sym_.to_primed());
-  return m.and_exists(primed_states, monolithic_, sym_.primed_cube());
-}
-
-RelationalEngine::ReachResult RelationalEngine::reach() {
-  ReachResult result;
-  Bdd reached = sym_.initial_state();
-  Bdd frontier = reached;
-  while (!frontier.is_false()) {
-    ++result.passes;
-    const Bdd next = image(frontier);
-    frontier = next.minus(reached);
-    reached |= frontier;
-    result.peak_nodes =
-        std::max(result.peak_nodes, sym_.manager().count_nodes(reached));
+Bdd frame_constraint(SymbolicStg& sym, const std::vector<Var>& vars) {
+  require_primed(sym);
+  bdd::Manager& m = sym.manager();
+  const std::vector<Var>& to_primed = sym.to_primed();
+  Bdd frame = m.bdd_true();
+  for (Var v : vars) {
+    frame &= !(m.var(v) ^ m.var(to_primed[v]));
   }
-  result.reached = reached;
-  return result;
+  return frame;
+}
+
+TransitionRelation build_sparse_relation(SymbolicStg& sym, pn::TransitionId t) {
+  require_primed(sym);
+  TransitionRelation r;
+  r.t = t;
+  r.rel = core_constraints(sym, t, r.support);
+  std::sort(r.support.begin(), r.support.end());
+  r.support.erase(std::unique(r.support.begin(), r.support.end()),
+                  r.support.end());
+  return r;
+}
+
+Bdd build_full_relation(SymbolicStg& sym, pn::TransitionId t) {
+  require_primed(sym);
+  TransitionRelation sparse = build_sparse_relation(sym, t);
+
+  // Frame every state variable the transition does not touch.
+  std::vector<Var> untouched;
+  std::vector<Var> state_vars = sym.place_var_list();
+  const std::vector<Var> signals = sym.signal_var_list();
+  state_vars.insert(state_vars.end(), signals.begin(), signals.end());
+  for (Var v : state_vars) {
+    if (!std::binary_search(sparse.support.begin(), sparse.support.end(), v)) {
+      untouched.push_back(v);
+    }
+  }
+  return sparse.rel & frame_constraint(sym, untouched);
 }
 
 }  // namespace stgcheck::core

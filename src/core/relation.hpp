@@ -1,19 +1,33 @@
-// Transition relations over (V, V') variable pairs: the textbook
-// alternative to the paper's per-transition cofactor pipeline.
+// Transition-relation construction over (V, V') variable pairs: the raw
+// material for the relational ImageEngine backends (core/image_engine.hpp).
 //
 // The paper's image operator never builds a relation -- delta_N is four
-// cube operations -- which is one of its contributions. This module
-// implements the conventional relational product so the claim can be
-// tested rather than taken on faith (bench_traversal_strategies' fourth
-// arm), and because relations generalize to encodings the cofactor trick
-// cannot express (k-bounded places, multi-token arcs).
+// cube operations -- which is one of its contributions. This module lets
+// that claim be tested against *fair* relational baselines rather than a
+// strawman, and it is the door to encodings the cofactor trick cannot
+// express (k-bounded places, multi-token arcs): those only need a
+// different relation builder behind the same ImageEngine interface.
 //
-//   T_t(V, V') = E(t) /\ postset empty before (safeness)
-//              /\ preset empty after /\ postset full after
-//              /\ signal flip /\ frame (everything else unchanged)
+// Two flavours of per-transition relation are built here:
 //
-//   image(S)    = (exists V  : S /\ T)[V' := V]
-//   preimage(S) =  exists V' : T /\ S[V := V']
+//   * full:   T_t(V, V') = E(t) /\ preset empty after /\ postset empty
+//             before (safeness premise) /\ postset full after /\ signal
+//             flip /\ frame over *every* untouched variable. ORing these
+//             yields the classic monolithic relation; its image is
+//             image(S) = (exists V : S /\ T)[V' := V].
+//
+//   * sparse: the same constraints but *no* frame conjuncts -- the
+//             relation only mentions the variables the transition touches
+//             (preset/postset places and the fired signal). Its image
+//             quantifies and renames only that support; untouched
+//             variables flow through S unchanged, which is the frame
+//             condition for free. Sparse relations are what the
+//             partitioned backend clusters: ORing two sparse relations is
+//             only sound after padding each with the frame of the other's
+//             support (see PartitionedRelationEngine), so clustering by
+//             shared support keeps the padding -- and the cluster BDDs --
+//             small, and gives each cluster a minimal early-quantification
+//             cube.
 #pragma once
 
 #include <vector>
@@ -22,40 +36,25 @@
 
 namespace stgcheck::core {
 
-/// Builds and applies transition relations. Requires an encoding built
-/// with primed variables (SymbolicStg(..., with_primed_vars = true)).
-class RelationalEngine {
- public:
-  explicit RelationalEngine(SymbolicStg& sym);
-
-  /// The relation of one transition.
-  const bdd::Bdd& relation(pn::TransitionId t) const { return relations_[t]; }
-  /// The monolithic relation (disjunction over all transitions).
-  const bdd::Bdd& monolithic() const { return monolithic_; }
-
-  /// Successors of `states` under the monolithic relation.
-  bdd::Bdd image(const bdd::Bdd& states);
-  /// Successors under one transition (must equal SymbolicStg::image).
-  bdd::Bdd image(const bdd::Bdd& states, pn::TransitionId t);
-  /// Predecessors of `states` under the monolithic relation.
-  bdd::Bdd preimage(const bdd::Bdd& states);
-
-  /// Classic BFS reachability with the monolithic relation; returns the
-  /// reached set and reports the pass count.
-  struct ReachResult {
-    bdd::Bdd reached;
-    std::size_t passes = 0;
-    std::size_t peak_nodes = 0;
-  };
-  ReachResult reach();
-
- private:
-  bdd::Bdd build_relation(pn::TransitionId t) const;
-  bdd::Bdd apply(const bdd::Bdd& states, const bdd::Bdd& relation);
-
-  SymbolicStg& sym_;
-  std::vector<bdd::Bdd> relations_;
-  bdd::Bdd monolithic_;
+/// One transition's relation plus the support bookkeeping the partitioned
+/// backend needs for clustering and early quantification.
+struct TransitionRelation {
+  pn::TransitionId t = pn::kNoId;
+  bdd::Bdd rel;
+  /// Unprimed state variables constrained by `rel`, sorted by id.
+  std::vector<bdd::Var> support;
 };
+
+/// Full-frame relation of one transition (constrains every state variable).
+/// Requires an encoding built with primed variables.
+bdd::Bdd build_full_relation(SymbolicStg& sym, pn::TransitionId t);
+
+/// Frame-free relation of one transition: constraints only over the
+/// variables `t` touches. Requires primed variables.
+TransitionRelation build_sparse_relation(SymbolicStg& sym, pn::TransitionId t);
+
+/// Conjunction of v <-> v' over `vars` (unprimed ids); the frame padding
+/// used when sparse relations are merged into one cluster.
+bdd::Bdd frame_constraint(SymbolicStg& sym, const std::vector<bdd::Var>& vars);
 
 }  // namespace stgcheck::core

@@ -77,8 +77,9 @@ void check_consistency_on(SymbolicStg& sym, const Bdd& states,
 
 }  // namespace
 
-TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options) {
+TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
   Stopwatch watch;
+  SymbolicStg& sym = engine.sym();
   const pn::PetriNet& net = sym.stg().net();
   TraversalResult result;
   LazyBinder binder(sym);
@@ -101,6 +102,10 @@ TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options) {
   track_peak(reached);
 
   std::size_t sift_watermark = options.auto_sift_threshold;
+  // Sifting would break the primed-pair adjacency that relational permute
+  // calls rely on -- including calls made by another engine sharing this
+  // encoding after we return -- so never reorder a primed encoding.
+  const bool allow_sift = options.auto_sift && !sym.has_primed_vars();
 
   bool stop = false;
   while (!stop) {
@@ -115,31 +120,40 @@ TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options) {
                         ? reached
                         : from;
 
-    for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
-      // Lazy initial-value binding: the first enabling of a signal pins
-      // its value in everything collected so far.
-      binder.maybe_bind(t, fire_base, {&reached, &from, &fire_base, &pass_new});
+    for (std::size_t u = 0; u < engine.unit_count() && !stop; ++u) {
+      for (pn::TransitionId t : engine.unit_transitions(u)) {
+        // Lazy initial-value binding: the first enabling of a signal pins
+        // its value in everything collected so far.
+        binder.maybe_bind(t, fire_base, {&reached, &from, &fire_base, &pass_new});
 
-      Bdd unsafe;
-      Bdd to = sym.image(fire_base, t,
-                         options.check_safeness ? &unsafe : nullptr);
-      ++result.stats.image_computations;
-      if (options.check_safeness && !unsafe.is_false()) {
-        result.safe = false;
-        result.safeness_detail =
-            "firing " + sym.stg().format_label(t) +
-            " deposits a second token on a successor place";
-        if (options.abort_on_violation) {
-          stop = true;
-          break;
+        if (options.check_safeness) {
+          // Every backend silently excludes unsafe firings from its image;
+          // detect and report them here (uniformly, from the cubes).
+          const Bdd unsafe = engine.unsafe_states(fire_base, t);
+          if (!unsafe.is_false()) {
+            result.safe = false;
+            result.safeness_detail =
+                "firing " + sym.stg().format_label(t) +
+                " deposits a second token on a successor place";
+            if (options.abort_on_violation) {
+              stop = true;
+              break;
+            }
+          }
         }
       }
+      if (stop) break;
+
+      const Bdd to = engine.image_unit(fire_base, u);
+      ++result.stats.image_computations;
       const Bdd fresh = to.minus(reached);
       if (fresh.is_false()) continue;
       reached |= fresh;
       pass_new |= fresh;
       if (options.strategy == TraversalStrategy::kChaining) {
-        // Later transitions in this pass fire from the enriched set.
+        // Later units in this pass fire from the enriched set ("chaining";
+        // with the partitioned backend this is disjunctive chaining over
+        // clusters).
         fire_base |= fresh;
       }
     }
@@ -160,7 +174,7 @@ TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options) {
     // includes garbage held alive by dead parents, so collect first and
     // only sift when the *true* working set doubled since the last
     // reorder (CUDD's policy).
-    if (options.auto_sift && sym.manager().live_nodes() > 2 * sift_watermark) {
+    if (allow_sift && sym.manager().live_nodes() > 2 * sift_watermark) {
       sym.manager().collect_garbage();
       if (sym.manager().live_nodes() > 2 * sift_watermark) {
         sym.manager().sift();
@@ -189,6 +203,12 @@ TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options) {
   result.stats.markings = sym.count_markings(reached);
   result.stats.seconds = watch.seconds();
   return result;
+}
+
+TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options) {
+  const std::unique_ptr<ImageEngine> engine =
+      make_engine(options.engine, sym, options.engine_options);
+  return traverse(*engine, options);
 }
 
 Bdd deadlock_states(SymbolicStg& sym, const Bdd& reached) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/encoding.hpp"
+#include "core/image_engine.hpp"
 #include "util/stopwatch.hpp"
 
 namespace stgcheck::core {
@@ -38,6 +39,12 @@ enum class TraversalStrategy {
 
 struct TraversalOptions {
   TraversalStrategy strategy = TraversalStrategy::kChaining;
+  /// Which image backend computes the successor sets (core/image_engine.hpp).
+  /// The relational backends require an encoding built with primed
+  /// variables. Only used by the traverse(SymbolicStg&, ...) overload; the
+  /// traverse(ImageEngine&, ...) overload uses the engine it is given.
+  EngineKind engine = EngineKind::kCofactor;
+  EngineOptions engine_options;
   bool check_consistency = true;
   bool check_safeness = true;
   /// Stop as soon as an inconsistency or safeness violation is found
@@ -49,6 +56,9 @@ struct TraversalOptions {
   /// orders only): sift the variable order whenever the live node count
   /// has quadrupled since the last reorder. Rescues workloads whose
   /// structure defeats the static heuristic (e.g. wide fork-join stars).
+  /// Only honoured by the cofactor engine: the relational backends rename
+  /// primed variables with Manager::permute, which needs the twin-pair
+  /// adjacency that sifting would destroy.
   bool auto_sift = true;
   /// Never sift below this table size (sifting churn is not worth it).
   std::size_t auto_sift_threshold = 50'000;
@@ -86,7 +96,12 @@ struct TraversalResult {
   bool ok() const { return consistent && safe && complete; }
 };
 
-/// Computes the reachable full states of the STG.
+/// Computes the reachable full states of the STG through the given image
+/// backend. Chaining, lazy initial-value binding and the on-the-fly
+/// consistency/safeness checks run identically on every backend.
+TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options = {});
+
+/// Convenience: builds the backend selected by `options.engine` internally.
 TraversalResult traverse(SymbolicStg& sym, const TraversalOptions& options = {});
 
 /// Convenience: the subset of `reached` with no enabled transition.

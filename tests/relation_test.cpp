@@ -1,10 +1,12 @@
-// Transition relations: the relational product must agree exactly with
+// Transition relations: the relational backends must agree exactly with
 // the paper's cofactor-pipeline image on every net and every transition,
-// and relational BFS must reach the same fixed point.
+// and relational traversal must reach the same fixed point.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
+#include "core/image_engine.hpp"
 #include "core/relation.hpp"
 #include "core/traversal.hpp"
 #include "stg/generators.hpp"
@@ -42,7 +44,10 @@ TEST(Permute, RejectsNonMonotone) {
 TEST(Relation, RequiresPrimedEncoding) {
   stg::Stg s = stg::examples::pulse_cycle();
   SymbolicStg sym(s);  // no primed vars
-  EXPECT_THROW(RelationalEngine engine(sym), ModelError);
+  EXPECT_THROW(MonolithicRelationEngine engine(sym), ModelError);
+  EXPECT_THROW(PartitionedRelationEngine engine(sym), ModelError);
+  EXPECT_THROW(build_full_relation(sym, 0), ModelError);
+  EXPECT_THROW(build_sparse_relation(sym, 0), ModelError);
 }
 
 class RelationAgainstPipeline : public ::testing::TestWithParam<int> {
@@ -62,20 +67,20 @@ class RelationAgainstPipeline : public ::testing::TestWithParam<int> {
     net = std::make_unique<stg::Stg>(make(GetParam()));
     sym = std::make_unique<SymbolicStg>(*net, Ordering::kInterleaved, 1 << 14,
                                         /*with_primed_vars=*/true);
-    engine = std::make_unique<RelationalEngine>(*sym);
+    engine = std::make_unique<MonolithicRelationEngine>(*sym);
     traversal = traverse(*sym);
     ASSERT_TRUE(traversal.ok());
   }
 
   std::unique_ptr<stg::Stg> net;
   std::unique_ptr<SymbolicStg> sym;
-  std::unique_ptr<RelationalEngine> engine;
+  std::unique_ptr<MonolithicRelationEngine> engine;
   TraversalResult traversal;
 };
 
 TEST_P(RelationAgainstPipeline, PerTransitionImagesAgree) {
   for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
-    EXPECT_EQ(engine->image(traversal.reached, t),
+    EXPECT_EQ(engine->image_via(traversal.reached, t),
               sym->image(traversal.reached, t))
         << net->format_label(t);
   }
@@ -97,10 +102,40 @@ TEST_P(RelationAgainstPipeline, MonolithicPreimageIsTheUnion) {
   EXPECT_EQ(engine->preimage(traversal.reached), expected);
 }
 
-TEST_P(RelationAgainstPipeline, RelationalReachabilityMatches) {
-  RelationalEngine::ReachResult r = engine->reach();
+TEST_P(RelationAgainstPipeline, PerTransitionPreimagesAgree) {
+  for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
+    EXPECT_EQ(engine->preimage_via(traversal.reached, t),
+              sym->preimage(traversal.reached, t))
+        << net->format_label(t);
+  }
+}
+
+TEST_P(RelationAgainstPipeline, RelationalTraversalMatches) {
+  TraversalResult r = traverse(*engine);
   EXPECT_EQ(r.reached, traversal.reached);
-  EXPECT_GT(r.passes, 0u);
+  EXPECT_GT(r.stats.passes, 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_P(RelationAgainstPipeline, FullRelationIsSparsePlusFrame) {
+  // The sparse relation conjoined with the frame of every untouched state
+  // variable is exactly the full relation.
+  std::vector<bdd::Var> state_vars = sym->place_var_list();
+  const std::vector<bdd::Var> signals = sym->signal_var_list();
+  state_vars.insert(state_vars.end(), signals.begin(), signals.end());
+  for (pn::TransitionId t = 0; t < net->net().transition_count(); ++t) {
+    const TransitionRelation sparse = build_sparse_relation(*sym, t);
+    std::vector<bdd::Var> untouched;
+    for (bdd::Var v : state_vars) {
+      if (std::find(sparse.support.begin(), sparse.support.end(), v) ==
+          sparse.support.end()) {
+        untouched.push_back(v);
+      }
+    }
+    EXPECT_EQ(sparse.rel & frame_constraint(*sym, untouched),
+              engine->relation(t))
+        << net->format_label(t);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Nets, RelationAgainstPipeline, ::testing::Range(0, 6));
