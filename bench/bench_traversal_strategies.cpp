@@ -1,6 +1,6 @@
 // Fig. 5 ablation: the paper's chaining traversal against a classic
 // frontier BFS, a full-fixpoint recomputation, and the two relational
-// ImageEngine backends.
+// ImageEngine backends -- each with dynamic reordering off and on.
 //
 // Chaining lets transitions later in the pass fire from states discovered
 // earlier in the same pass, cutting the number of outer passes (and hence
@@ -10,8 +10,24 @@
 // is the modern baseline (support-clustered relations with early
 // quantification, fired with disjunctive chaining).
 //
+// The sift toggle measures the reordering lever the paper never had:
+// variable groups keep each primed twin pair together, so even the
+// relational backends can reorder mid-traversal. The between-pass GC and
+// watermark run on the same schedule in both arms (core::AutoSiftPolicy),
+// so comparing a "+sift" row against its baseline isolates what the
+// reordering itself buys -- the "reorders" column says whether a sift
+// actually fired. Expect wins where the traversal's working set dominates
+// (chaining on mread8) and losses where sifting optimizes the persistent
+// BDDs at the expense of the relational image intermediates (mread8
+// monolithic): dynamic reordering is a lever, not a free lunch.
+//
 // Results are printed and also written to BENCH_traversal.json.
+// Usage: bench_traversal_strategies [--sift | --no-sift]
+//   --sift     only the sift-on arms  (writes BENCH_traversal.sift.json)
+//   --no-sift  only the sift-off arms (writes BENCH_traversal.nosift.json)
+//   (default: both, written to the canonical BENCH_traversal.json)
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -27,12 +43,14 @@ using namespace stgcheck;
 struct Row {
   std::string family;
   std::string arm;
+  bool sift = false;
   std::size_t passes = 0;
   std::size_t images = 0;
   std::size_t peak_reached = 0;   // BDD size of Reached (Table 1 "peak")
   std::size_t peak_live = 0;      // manager-wide live-node high water
   std::size_t relation_nodes = 0; // 0 for the cofactor arms
   std::size_t units = 0;
+  std::size_t reorders = 0;       // completed sift passes
   double seconds = 0;
   double states = 0;
 };
@@ -41,53 +59,68 @@ std::vector<Row> g_rows;
 
 void record(const Row& row) {
   std::printf(
-      "  %-18s passes=%4zu images=%6zu peak=%8zu live-peak=%8zu rel=%6zu "
-      "units=%4zu time=%7.3fs states=%.3e\n",
+      "  %-22s passes=%4zu images=%6zu peak=%8zu live-peak=%8zu rel=%6zu "
+      "units=%4zu reorders=%2zu time=%7.3fs states=%.3e\n",
       row.arm.c_str(), row.passes, row.images, row.peak_reached, row.peak_live,
-      row.relation_nodes, row.units, row.seconds, row.states);
+      row.relation_nodes, row.units, row.reorders, row.seconds, row.states);
   std::fflush(stdout);
   g_rows.push_back(row);
 }
 
-void run_cofactor_arm(const stg::Stg& s, const char* name,
-                      core::TraversalStrategy strategy) {
+core::TraversalOptions arm_options(core::TraversalStrategy strategy, bool sift) {
+  core::TraversalOptions options;
+  options.strategy = strategy;
+  options.auto_sift = sift;
+  return options;
+}
+
+void run_cofactor_arm(const stg::Stg& s, const std::string& name,
+                      core::TraversalStrategy strategy, bool sift) {
   Stopwatch watch;
   core::SymbolicStg sym(s);
   core::CofactorEngine engine(sym);
-  core::TraversalOptions options;
-  options.strategy = strategy;
-  core::TraversalResult r = core::traverse(engine, options);
-  record(Row{s.name(), name, r.stats.passes, r.stats.image_computations,
+  core::TraversalResult r = core::traverse(engine, arm_options(strategy, sift));
+  record(Row{s.name(), name, sift, r.stats.passes, r.stats.image_computations,
              r.stats.peak_reached_nodes, sym.manager().peak_live_nodes(),
              engine.stats().relation_nodes, engine.stats().units,
-             watch.seconds(), r.stats.states});
+             sym.manager().reorder_epoch(), watch.seconds(), r.stats.states});
 }
 
-void run_relation_arm(const stg::Stg& s, const char* name,
-                      core::EngineKind kind, core::TraversalStrategy strategy) {
+void run_relation_arm(const stg::Stg& s, const std::string& name,
+                      core::EngineKind kind, core::TraversalStrategy strategy,
+                      bool sift) {
   Stopwatch watch;
   core::SymbolicStg sym(s, core::Ordering::kInterleaved, 1 << 14,
                         /*with_primed_vars=*/true);
   const std::unique_ptr<core::ImageEngine> engine =
       core::make_engine(kind, sym);
-  core::TraversalOptions options;
-  options.strategy = strategy;
-  core::TraversalResult r = core::traverse(*engine, options);
-  record(Row{s.name(), name, r.stats.passes, r.stats.image_computations,
+  core::TraversalResult r = core::traverse(*engine, arm_options(strategy, sift));
+  record(Row{s.name(), name, sift, r.stats.passes, r.stats.image_computations,
              r.stats.peak_reached_nodes, sym.manager().peak_live_nodes(),
              engine->stats().relation_nodes, engine->stats().units,
-             watch.seconds(), r.stats.states});
+             sym.manager().reorder_epoch(), watch.seconds(), r.stats.states});
 }
 
-void run(const stg::Stg& s) {
+void run(const stg::Stg& s, bool sift_off, bool sift_on) {
   std::printf("--- %s ---\n", s.name().c_str());
-  run_cofactor_arm(s, "chaining (Fig.5)", core::TraversalStrategy::kChaining);
-  run_cofactor_arm(s, "frontier BFS", core::TraversalStrategy::kFrontierBfs);
-  run_cofactor_arm(s, "full fixpoint", core::TraversalStrategy::kFullFixpoint);
-  run_relation_arm(s, "monolithic rel.", core::EngineKind::kMonolithicRelation,
-                   core::TraversalStrategy::kFrontierBfs);
-  run_relation_arm(s, "partitioned rel.", core::EngineKind::kPartitionedRelation,
-                   core::TraversalStrategy::kChaining);
+  std::vector<bool> toggles;
+  if (sift_off) toggles.push_back(false);
+  if (sift_on) toggles.push_back(true);
+  for (const bool sift : toggles) {
+    const char* suffix = sift ? "+sift" : "";
+    run_cofactor_arm(s, std::string("chaining (Fig.5)") + suffix,
+                     core::TraversalStrategy::kChaining, sift);
+    run_cofactor_arm(s, std::string("frontier BFS") + suffix,
+                     core::TraversalStrategy::kFrontierBfs, sift);
+    run_cofactor_arm(s, std::string("full fixpoint") + suffix,
+                     core::TraversalStrategy::kFullFixpoint, sift);
+    run_relation_arm(s, std::string("monolithic rel.") + suffix,
+                     core::EngineKind::kMonolithicRelation,
+                     core::TraversalStrategy::kFrontierBfs, sift);
+    run_relation_arm(s, std::string("partitioned rel.") + suffix,
+                     core::EngineKind::kPartitionedRelation,
+                     core::TraversalStrategy::kChaining, sift);
+  }
 }
 
 void write_json(const char* path) {
@@ -100,13 +133,16 @@ void write_json(const char* path) {
   for (std::size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];
     std::fprintf(f,
-                 "  {\"family\": \"%s\", \"arm\": \"%s\", \"passes\": %zu, "
+                 "  {\"family\": \"%s\", \"arm\": \"%s\", \"sift\": %s, "
+                 "\"passes\": %zu, "
                  "\"images\": %zu, \"peak_reached_nodes\": %zu, "
                  "\"peak_live_nodes\": %zu, \"relation_nodes\": %zu, "
-                 "\"units\": %zu, \"seconds\": %.6f, \"states\": %.6e}%s\n",
-                 r.family.c_str(), r.arm.c_str(), r.passes, r.images,
-                 r.peak_reached, r.peak_live, r.relation_nodes, r.units,
-                 r.seconds, r.states, i + 1 < g_rows.size() ? "," : "");
+                 "\"units\": %zu, \"reorders\": %zu, \"seconds\": %.6f, "
+                 "\"states\": %.6e}%s\n",
+                 r.family.c_str(), r.arm.c_str(), r.sift ? "true" : "false",
+                 r.passes, r.images, r.peak_reached, r.peak_live,
+                 r.relation_nodes, r.units, r.reorders, r.seconds, r.states,
+                 i + 1 < g_rows.size() ? "," : "");
   }
   std::fputs("]\n", f);
   std::fclose(f);
@@ -115,12 +151,33 @@ void write_json(const char* path) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool sift_off = true;
+  bool sift_on = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sift") == 0) {
+      sift_off = false;
+    } else if (std::strcmp(argv[i], "--no-sift") == 0) {
+      sift_on = false;
+    } else {
+      std::fprintf(stderr, "usage: %s [--sift | --no-sift]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (!sift_off && !sift_on) {
+    // Both flags together would run nothing and clobber the JSON with [].
+    std::fprintf(stderr, "--sift and --no-sift are mutually exclusive\n");
+    return 1;
+  }
   std::puts("=== Traversal strategy ablation (Fig. 5) ===");
-  run(stg::muller_pipeline(16));
-  run(stg::master_read(8));
-  run(stg::mutex_arbiter(12));
-  run(stg::select_chain(24));
-  write_json("BENCH_traversal.json");
+  run(stg::muller_pipeline(16), sift_off, sift_on);
+  run(stg::master_read(8), sift_off, sift_on);
+  run(stg::mutex_arbiter(12), sift_off, sift_on);
+  run(stg::select_chain(24), sift_off, sift_on);
+  // Restricted runs write to a mode-suffixed file so a half table never
+  // clobbers the canonical sift-on/sift-off comparison artifact.
+  write_json(sift_off && sift_on  ? "BENCH_traversal.json"
+             : sift_on            ? "BENCH_traversal.sift.json"
+                                  : "BENCH_traversal.nosift.json");
   return 0;
 }

@@ -12,8 +12,9 @@
 //   * SAT counting (the "# of states" column of Table 1)
 //   * node counting (the "BDD size peak|final" column of Table 1)
 //   * garbage collection driven by reference counts
-//   * static variable orders plus sifting dynamic reordering (Sec. 6 notes
-//     that bad orders blow up; the ordering ablation bench uses this)
+//   * static variable orders plus sifting dynamic reordering with variable
+//     groups (Sec. 6 notes that bad orders blow up; the ordering ablation
+//     bench uses this, and groups keep primed twin pairs adjacent)
 //   * Minato-Morreale ISOP for deriving gate equations (src/logic)
 //
 // Design notes
@@ -192,11 +193,13 @@ class Manager {
   /// Coudert-Madre restrict: simplifies f using `care` as a care set; the
   /// result agrees with f on `care`.
   Bdd restrict(const Bdd& f, const Bdd& care);
-  /// Variable substitution f[v := perm[v]]. The permutation must be
-  /// monotone with respect to the current order on f's support (it maps
-  /// level-increasing variables to level-increasing variables), which
-  /// holds for the adjacent primed/unprimed pairs used by transition
-  /// relations. Violations throw ModelError.
+  /// Variable substitution f[v := perm[v]], valid for any variable order.
+  /// `perm` must cover f's support, map into existing variables, and be
+  /// injective on the support (a duplicated target would not be a
+  /// substitution); violations throw ModelError naming the offending
+  /// variables and their levels. Renames that preserve relative level
+  /// order take a linear top-down pass; general renames fall back to a
+  /// level-aware ITE composition.
   Bdd permute(const Bdd& f, const std::vector<Var>& perm);
 
   // ---- Analysis ----------------------------------------------------------
@@ -232,12 +235,36 @@ class Manager {
 
   // ---- Reordering --------------------------------------------------------
 
-  /// Sifts every variable to its locally best level (Rudell). Keeps each
-  /// variable within `max_growth` times the best size seen while moving.
-  /// Returns live node count after reordering.
+  /// Sifts every variable to its locally best level (Rudell). Grouped
+  /// variables (see group_vars) move as one block. Keeps each block within
+  /// `max_growth` times the best size seen while moving. Returns live node
+  /// count after reordering.
   std::size_t sift(double max_growth = 1.2);
+  /// Reorders to exactly the given order (a permutation of all variables,
+  /// listed top to bottom). Every registered group must stay contiguous
+  /// and keep its internal order in the target; violations throw
+  /// ModelError. Returns live node count after reordering.
+  std::size_t reorder(const std::vector<Var>& level2var);
   /// Current order as variable ids, top to bottom.
   std::vector<Var> current_order() const { return level2var_; }
+
+  // ---- Variable groups ---------------------------------------------------
+
+  /// Registers `vars` -- currently at adjacent levels, listed top to
+  /// bottom -- as a reorder group: sift() and reorder() move the block as
+  /// one unit and never change its internal order. This is how the primed
+  /// twin pairs of transition-relation encodings survive dynamic
+  /// reordering with their (v, v') adjacency intact. A variable belongs to
+  /// at most one group; non-adjacent or already-grouped variables throw
+  /// ModelError.
+  void group_vars(const std::vector<Var>& vars);
+  std::size_t group_count() const { return groups_.size(); }
+  /// Members of group `g`, top to bottom.
+  const std::vector<Var>& group(std::size_t g) const { return groups_[g]; }
+  /// Bumped by every completed sift() / reorder(). Callers that cache
+  /// order-dependent metadata (node counts, level-sorted supports) compare
+  /// this against their recorded epoch to know when to refresh.
+  std::size_t reorder_epoch() const { return reorder_epoch_; }
 
   // ---- Memory ------------------------------------------------------------
 
@@ -321,6 +348,8 @@ class Manager {
   NodeRef restrict_rec(NodeRef f, NodeRef care);
   NodeRef permute_rec(NodeRef f, const std::vector<Var>& perm,
                       std::unordered_map<NodeRef, NodeRef>& memo);
+  NodeRef permute_general_rec(NodeRef f, const std::vector<Var>& perm,
+                              std::unordered_map<NodeRef, NodeRef>& memo);
   bool disjoint_rec(NodeRef f, NodeRef g,
                     std::unordered_map<std::uint64_t, bool>& memo) const;
 
@@ -333,11 +362,16 @@ class Manager {
   std::uint32_t next_stamp() const;
   void mark_reachable(NodeRef r) const;
 
-  // Reordering internals (sift.cpp).
+  // Reordering internals (sift.cpp). A "block" is a registered group's
+  // member list (top to bottom) or a singleton ungrouped variable; between
+  // block moves every group is contiguous in its registered order.
   std::size_t swap_levels(std::size_t upper_level);
   void gather_var_nodes();
-  std::size_t sift_one_var(Var v, double max_growth);
-  std::size_t move_var_to_level(Var v, std::size_t target_level);
+  std::size_t sift_one_block(const std::vector<Var>& block, double max_growth);
+  std::size_t move_block_up(const std::vector<Var>& block);
+  std::size_t move_block_down(const std::vector<Var>& block);
+  std::size_t block_size_of(Var member) const;
+  std::string var_desc(Var v) const;
 
   Bdd make_handle(NodeRef r) { return Bdd(this, r); }
 
@@ -361,6 +395,12 @@ class Manager {
   std::vector<std::size_t> var2level_;
   std::vector<Var> level2var_;
   std::vector<std::string> var_names_;
+
+  static constexpr std::uint32_t kNoGroup =
+      std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> var_group_;  // var -> index into groups_
+  std::vector<std::vector<Var>> groups_;
+  std::size_t reorder_epoch_ = 0;
 
   mutable std::uint32_t stamp_counter_ = 0;
 

@@ -113,6 +113,7 @@ Bdd Manager::new_var(const std::string& name) {
   var2level_.push_back(level2var_.size());
   level2var_.push_back(v);
   var_names_.push_back(name.empty() ? "x" + std::to_string(v) : name);
+  var_group_.push_back(kNoGroup);
   return var(v);
 }
 

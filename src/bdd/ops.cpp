@@ -75,20 +75,50 @@ Bdd Manager::restrict(const Bdd& f, const Bdd& care) {
   return result;
 }
 
+std::string Manager::var_desc(Var v) const {
+  return "v" + std::to_string(v) + " ('" + var_names_[v] + "', level " +
+         std::to_string(var2level_[v]) + ")";
+}
+
 Bdd Manager::permute(const Bdd& f, const std::vector<Var>& perm) {
-  // Validate: total map over f's support, monotone in levels.
+  // Validate over f's support (sorted by current level): every variable
+  // mapped, every target known, no two variables sharing a target. A
+  // duplicated target is not a substitution -- it would silently merge two
+  // variables -- so it is an error, not a smaller BDD.
   const std::vector<Var> sup = support(f);
+  std::unordered_map<Var, Var> target_source;
+  target_source.reserve(sup.size());
+  bool monotone = true;
+  bool identity = true;
   for (std::size_t i = 0; i < sup.size(); ++i) {
-    if (sup[i] >= perm.size() || perm[sup[i]] >= var2level_.size()) {
-      throw ModelError("permute: permutation does not cover the support");
+    const Var v = sup[i];
+    if (v >= perm.size()) {
+      throw ModelError("permute: no mapping for support variable " +
+                       var_desc(v) + " (permutation covers only " +
+                       std::to_string(perm.size()) + " variables)");
     }
-    if (i > 0 &&
-        var2level_[perm[sup[i - 1]]] >= var2level_[perm[sup[i]]]) {
-      throw ModelError("permute: permutation is not monotone in the order");
+    const Var w = perm[v];
+    if (w >= var2level_.size()) {
+      throw ModelError("permute: support variable " + var_desc(v) +
+                       " maps to unknown variable v" + std::to_string(w));
     }
+    const auto [it, inserted] = target_source.emplace(w, v);
+    if (!inserted) {
+      throw ModelError("permute: not injective on the support: " +
+                       var_desc(it->second) + " and " + var_desc(v) +
+                       " both map to " + var_desc(w));
+    }
+    identity = identity && w == v;
+    monotone =
+        monotone && (i == 0 || var2level_[perm[sup[i - 1]]] < var2level_[w]);
   }
+  if (identity) return f;
   std::unordered_map<NodeRef, NodeRef> memo;
-  Bdd result = make_handle(permute_rec(f.ref(), perm, memo));
+  // A rename that preserves relative level order rebuilds the graph in one
+  // top-down pass; anything else needs the level-aware composition.
+  Bdd result = make_handle(monotone
+                               ? permute_rec(f.ref(), perm, memo)
+                               : permute_general_rec(f.ref(), perm, memo));
   maybe_gc();
   return result;
 }
@@ -103,6 +133,24 @@ NodeRef Manager::permute_rec(NodeRef f, const std::vector<Var>& perm,
   const NodeRef fhigh = node(f).high;
   const NodeRef low = permute_rec(flow, perm, memo);
   const NodeRef r = mk(perm[v], low, permute_rec(fhigh, perm, memo));
+  memo.emplace(f, r);
+  return r;
+}
+
+NodeRef Manager::permute_general_rec(NodeRef f, const std::vector<Var>& perm,
+                                     std::unordered_map<NodeRef, NodeRef>& memo) {
+  if (is_term(f)) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+  // Shannon expansion composed through ITE: the renamed variable may land
+  // at any level, above or below the recursively renamed cofactors, and
+  // ite_rec re-normalizes regardless.
+  const Var v = node(f).var;
+  const NodeRef flow = node(f).low;
+  const NodeRef fhigh = node(f).high;
+  const NodeRef low = permute_general_rec(flow, perm, memo);
+  const NodeRef high = permute_general_rec(fhigh, perm, memo);
+  const NodeRef r = ite_rec(mk(perm[v], kFalse, kTrue), high, low);
   memo.emplace(f, r);
   return r;
 }

@@ -1,6 +1,11 @@
-// Rudell sifting. Each variable is moved through the order by repeated
-// adjacent-level swaps and settled at the level where the live node count
-// is minimal.
+// Rudell sifting with variable groups. Each block -- a registered group
+// of variables or a single ungrouped variable -- is moved through the
+// order by repeated adjacent-level swaps and settled at the position where
+// the live node count is minimal. Blocks never split: a group registered
+// with group_vars() keeps its members contiguous and in their registered
+// internal order across every reorder, which is what lets transition-
+// relation encodings keep each primed twin directly below its variable
+// while the pair still finds its best position.
 //
 // A swap of levels (l, l+1) with upper variable x and lower variable y
 // rewrites, in place, every x-node that has a y-child:
@@ -12,10 +17,17 @@
 // x-nodes without y-children and y-nodes referenced from above levels are
 // untouched. Reference counts (parents + external handles) are exact in
 // this package, so the live node count used to score positions is exact.
+//
+// Moving a block past a neighbouring block of size m costs size * m
+// adjacent swaps (each variable of one block crosses each variable of the
+// other); mid-move a neighbour is temporarily split, but every block move
+// restores all groups before the position is scored.
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
 #include <cassert>
+
+#include "util/error.hpp"
 
 namespace stgcheck::bdd {
 
@@ -30,6 +42,44 @@ struct Split {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Variable groups
+// ---------------------------------------------------------------------------
+
+void Manager::group_vars(const std::vector<Var>& vars) {
+  if (vars.size() < 2) {
+    throw ModelError("group_vars: a group needs at least two variables");
+  }
+  for (Var v : vars) {
+    if (v >= var2level_.size()) {
+      throw ModelError("group_vars: unknown variable v" + std::to_string(v));
+    }
+    if (var_group_[v] != kNoGroup) {
+      throw ModelError("group_vars: variable " + var_desc(v) +
+                       " is already in a group");
+    }
+  }
+  for (std::size_t i = 1; i < vars.size(); ++i) {
+    if (var2level_[vars[i]] != var2level_[vars[i - 1]] + 1) {
+      throw ModelError("group_vars: variables " + var_desc(vars[i - 1]) +
+                       " and " + var_desc(vars[i]) +
+                       " are not at adjacent levels");
+    }
+  }
+  const std::uint32_t g = static_cast<std::uint32_t>(groups_.size());
+  for (Var v : vars) var_group_[v] = g;
+  groups_.push_back(vars);
+}
+
+std::size_t Manager::block_size_of(Var member) const {
+  return var_group_[member] == kNoGroup ? 1
+                                        : groups_[var_group_[member]].size();
+}
+
+// ---------------------------------------------------------------------------
+// Sifting
+// ---------------------------------------------------------------------------
+
 std::size_t Manager::sift(double max_growth) {
   if (var2level_.size() < 2) return live_nodes();
 
@@ -39,42 +89,55 @@ std::size_t Manager::sift(double max_growth) {
   sift_tracking_ = true;
   gather_var_nodes();
 
-  // Sift in decreasing order of node population: big layers first.
-  std::vector<Var> by_size(var2level_.size());
-  for (Var v = 0; v < by_size.size(); ++v) by_size[v] = v;
-  std::sort(by_size.begin(), by_size.end(), [this](Var a, Var b) {
-    return nodes_at_var_[a].size() > nodes_at_var_[b].size();
-  });
+  // One block per group plus one per ungrouped variable, sifted in
+  // decreasing order of node population: big layers first.
+  std::vector<std::vector<Var>> blocks;
+  blocks.reserve(groups_.size() + var2level_.size());
+  for (const std::vector<Var>& g : groups_) blocks.push_back(g);
+  for (Var v = 0; v < var2level_.size(); ++v) {
+    if (var_group_[v] == kNoGroup) blocks.push_back({v});
+  }
+  const auto population = [this](const std::vector<Var>& block) {
+    std::size_t n = 0;
+    for (Var v : block) n += nodes_at_var_[v].size();
+    return n;
+  };
+  std::sort(blocks.begin(), blocks.end(),
+            [&](const std::vector<Var>& a, const std::vector<Var>& b) {
+              return population(a) > population(b);
+            });
 
-  for (Var v : by_size) sift_one_var(v, max_growth);
+  for (const std::vector<Var>& block : blocks) {
+    sift_one_block(block, max_growth);
+  }
 
   sift_tracking_ = false;
   nodes_at_var_.clear();
   gc_enabled_ = true;
+  ++reorder_epoch_;
   collect_garbage();
   return live_nodes();
 }
 
-void Manager::gather_var_nodes() {
-  nodes_at_var_.assign(var2level_.size(), {});
-  for (NodeRef r = 2; r < nodes_.size(); ++r) {
-    const Node& n = node(r);
-    if (n.var != kInvalidVar) nodes_at_var_[n.var].push_back(r);
-  }
-}
-
-std::size_t Manager::sift_one_var(Var v, double max_growth) {
+std::size_t Manager::sift_one_block(const std::vector<Var>& block,
+                                    double max_growth) {
   const std::size_t levels = level2var_.size();
+  const std::size_t k = block.size();
+  if (k >= levels) return live_nodes();  // the block is the whole order
   std::size_t best_size = live_nodes();
-  std::size_t best_level = var2level_[v];
+  // Positions are identified by the block's top level: the surrounding
+  // block sequence never changes, so each reachable position has a unique,
+  // stable top level that the settling loop below can steer back to.
+  std::size_t best_top = var2level_[block.front()];
 
   const auto sweep = [&](bool upward) {
-    while (upward ? var2level_[v] > 0 : var2level_[v] + 1 < levels) {
-      swap_levels(upward ? var2level_[v] - 1 : var2level_[v]);
-      const std::size_t size = live_nodes();
+    while (upward ? var2level_[block.front()] > 0
+                  : var2level_[block.front()] + k < levels) {
+      const std::size_t size =
+          upward ? move_block_up(block) : move_block_down(block);
       if (size < best_size) {
         best_size = size;
-        best_level = var2level_[v];
+        best_top = var2level_[block.front()];
       } else if (static_cast<double>(size) >
                  max_growth * static_cast<double>(best_size)) {
         break;  // growing too much in this direction
@@ -83,16 +146,99 @@ std::size_t Manager::sift_one_var(Var v, double max_growth) {
   };
 
   // Visit the nearer end of the order first: fewer swaps to undo.
-  const bool up_first = var2level_[v] < levels - 1 - var2level_[v];
+  const std::size_t top = var2level_[block.front()];
+  const bool up_first = top < levels - k - top;
   sweep(up_first);
   sweep(!up_first);
-  move_var_to_level(v, best_level);
+  while (var2level_[block.front()] > best_top) move_block_up(block);
+  while (var2level_[block.front()] < best_top) move_block_down(block);
   return best_size;
 }
 
-std::size_t Manager::move_var_to_level(Var v, std::size_t target_level) {
-  while (var2level_[v] > target_level) swap_levels(var2level_[v] - 1);
-  while (var2level_[v] < target_level) swap_levels(var2level_[v]);
+std::size_t Manager::move_block_up(const std::vector<Var>& block) {
+  const std::size_t k = block.size();
+  const std::size_t top = var2level_[block.front()];
+  assert(top > 0);
+  // Bubble each variable of the block above down through ours, bottom of
+  // that block first, which preserves its internal order.
+  const std::size_t m = block_size_of(level2var_[top - 1]);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t lev = top - 1 - j; lev < top - 1 - j + k; ++lev) {
+      swap_levels(lev);
+    }
+  }
+  return live_nodes();
+}
+
+std::size_t Manager::move_block_down(const std::vector<Var>& block) {
+  const std::size_t k = block.size();
+  const std::size_t top = var2level_[block.front()];
+  assert(top + k < level2var_.size());
+  // Bubble each variable of the block below up through ours, top of that
+  // block first, which preserves its internal order.
+  const std::size_t m = block_size_of(level2var_[top + k]);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t lev = top + j + k; lev > top + j; --lev) {
+      swap_levels(lev - 1);
+    }
+  }
+  return live_nodes();
+}
+
+// ---------------------------------------------------------------------------
+// Explicit reorder
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::reorder(const std::vector<Var>& order) {
+  if (order.size() != var2level_.size()) {
+    throw ModelError("reorder: order lists " + std::to_string(order.size()) +
+                     " variables, manager has " +
+                     std::to_string(var2level_.size()));
+  }
+  std::vector<std::size_t> target_level(order.size(),
+                                        std::numeric_limits<std::size_t>::max());
+  for (std::size_t lev = 0; lev < order.size(); ++lev) {
+    const Var v = order[lev];
+    if (v >= var2level_.size()) {
+      throw ModelError("reorder: unknown variable v" + std::to_string(v));
+    }
+    if (target_level[v] != std::numeric_limits<std::size_t>::max()) {
+      throw ModelError("reorder: variable " + var_desc(v) +
+                       " listed more than once");
+    }
+    target_level[v] = lev;
+  }
+  for (const std::vector<Var>& g : groups_) {
+    for (std::size_t i = 1; i < g.size(); ++i) {
+      if (target_level[g[i]] != target_level[g[i - 1]] + 1) {
+        throw ModelError("reorder: order splits the group of " +
+                         var_desc(g[i - 1]) + " and " + var_desc(g[i]) +
+                         " (targets " + std::to_string(target_level[g[i - 1]]) +
+                         " and " + std::to_string(target_level[g[i]]) + ")");
+      }
+    }
+  }
+  if (order == level2var_) return live_nodes();
+
+  collect_garbage();
+  clear_cache();
+  gc_enabled_ = false;
+  sift_tracking_ = true;
+  gather_var_nodes();
+
+  // Selection by levels: settle level 0, then 1, ... Each variable only
+  // bubbles upward, past variables that have not been placed yet, so
+  // placed prefixes never move again.
+  for (std::size_t target = 0; target < order.size(); ++target) {
+    const Var v = order[target];
+    while (var2level_[v] > target) swap_levels(var2level_[v] - 1);
+  }
+
+  sift_tracking_ = false;
+  nodes_at_var_.clear();
+  gc_enabled_ = true;
+  ++reorder_epoch_;
+  collect_garbage();
   return live_nodes();
 }
 
@@ -161,6 +307,14 @@ std::size_t Manager::swap_levels(std::size_t upper_level) {
     nodes_at_var_[y].push_back(r);
   }
   return live_nodes();
+}
+
+void Manager::gather_var_nodes() {
+  nodes_at_var_.assign(var2level_.size(), {});
+  for (NodeRef r = 2; r < nodes_.size(); ++r) {
+    const Node& n = node(r);
+    if (n.var != kInvalidVar) nodes_at_var_[n.var].push_back(r);
+  }
 }
 
 }  // namespace stgcheck::bdd

@@ -25,6 +25,18 @@ SymbolicStg::SymbolicStg(const stg::Stg& stg, Ordering ordering,
   primed_place_vars_.assign(net.place_count(), bdd::kInvalidVar);
   primed_signal_vars_.assign(stg_->signal_count(), bdd::kInvalidVar);
   order_variables(ordering);
+  if (with_primed_) {
+    // Each (v, v') twin pair reorders as one block: dynamic sifting can
+    // move the pair anywhere, but the primed twin stays directly below
+    // its variable, so transition-relation renames remain cheap
+    // level-order-preserving permutations.
+    for (pn::PlaceId p = 0; p < net.place_count(); ++p) {
+      manager_->group_vars({place_vars_[p], primed_place_vars_[p]});
+    }
+    for (stg::SignalId s = 0; s < stg_->signal_count(); ++s) {
+      manager_->group_vars({signal_vars_[s], primed_signal_vars_[s]});
+    }
+  }
   build_cubes();
 }
 

@@ -36,8 +36,11 @@ enum class Ordering {
 ///
 /// With `with_primed_vars` every state variable v gets a primed twin v'
 /// directly below it in the order, enabling transition relations
-/// (core/relation.hpp). The primed twins never appear in reachable-set
-/// BDDs, and all counting functions account for them.
+/// (core/relation.hpp). Each (v, v') pair is registered as a reorder
+/// group with the manager, so dynamic sifting moves the pair as one block
+/// and the twin adjacency survives every reorder. The primed twins never
+/// appear in reachable-set BDDs, and all counting functions account for
+/// them.
 class SymbolicStg {
  public:
   explicit SymbolicStg(const stg::Stg& stg, Ordering ordering = Ordering::kInterleaved,

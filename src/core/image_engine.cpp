@@ -107,7 +107,16 @@ Bdd cofactor_preimage(const SymbolicStg& sym, const Bdd& states,
 ImageEngine::ImageEngine(SymbolicStg& sym)
     : sym_(sym),
       marked_successor_(sym.stg().net().transition_count()),
-      marked_successor_built_(sym.stg().net().transition_count(), false) {}
+      marked_successor_built_(sym.stg().net().transition_count(), false),
+      order_epoch_(sym.manager().reorder_epoch()) {}
+
+void ImageEngine::sync_with_order() {
+  const std::size_t epoch = sym_.manager().reorder_epoch();
+  if (epoch != order_epoch_) {
+    order_epoch_ = epoch;
+    on_reorder();
+  }
+}
 
 Bdd ImageEngine::image(const Bdd& states) {
   Bdd result = sym_.manager().bdd_false();
@@ -184,6 +193,12 @@ MonolithicRelationEngine::MonolithicRelationEngine(SymbolicStg& sym)
   stats_.relation_nodes = sym.manager().count_nodes(monolithic_);
 }
 
+void MonolithicRelationEngine::on_reorder() {
+  // The relation handles survive a reorder (sifting rewrites nodes in
+  // place), but their node counts -- reported by the benches -- do not.
+  stats_.relation_nodes = sym_.manager().count_nodes(monolithic_);
+}
+
 Bdd MonolithicRelationEngine::apply(const Bdd& states, const Bdd& relation) {
   bdd::Manager& m = sym_.manager();
   const Bdd next_primed = m.and_exists(states, relation, sym_.state_cube());
@@ -191,16 +206,19 @@ Bdd MonolithicRelationEngine::apply(const Bdd& states, const Bdd& relation) {
 }
 
 Bdd MonolithicRelationEngine::image(const Bdd& states) {
+  sync_with_order();
   ++stats_.image_calls;
   return apply(states, monolithic_);
 }
 
 Bdd MonolithicRelationEngine::image_via(const Bdd& states, pn::TransitionId t) {
+  sync_with_order();
   ++stats_.image_calls;
   return apply(states, relations_[t]);
 }
 
 Bdd MonolithicRelationEngine::preimage(const Bdd& states) {
+  sync_with_order();
   ++stats_.preimage_calls;
   bdd::Manager& m = sym_.manager();
   const Bdd primed_states = m.permute(states, sym_.to_primed());
@@ -209,6 +227,7 @@ Bdd MonolithicRelationEngine::preimage(const Bdd& states) {
 
 Bdd MonolithicRelationEngine::preimage_via(const Bdd& states,
                                            pn::TransitionId t) {
+  sync_with_order();
   ++stats_.preimage_calls;
   bdd::Manager& m = sym_.manager();
   const Bdd primed_states = m.permute(states, sym_.to_primed());
@@ -318,7 +337,15 @@ Bdd PartitionedRelationEngine::apply_sparse(const Bdd& states, const Bdd& rel,
   return m.permute(next_primed, sym_.from_primed());
 }
 
+void PartitionedRelationEngine::on_reorder() {
+  std::vector<Bdd> rels;
+  rels.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) rels.push_back(c.rel);
+  stats_.relation_nodes = sym_.manager().count_nodes(rels);
+}
+
 Bdd PartitionedRelationEngine::image_unit(const Bdd& states, std::size_t u) {
+  sync_with_order();
   ++stats_.image_calls;
   const Cluster& c = clusters_[u];
   return apply_sparse(states, c.rel, c.quant_cube);
@@ -345,12 +372,14 @@ const PartitionedRelationEngine::SparseApply& PartitionedRelationEngine::sparse_
 }
 
 Bdd PartitionedRelationEngine::image_via(const Bdd& states, pn::TransitionId t) {
+  sync_with_order();
   ++stats_.image_calls;
   return apply_sparse(states, sparse_[t].rel, sparse_apply(t).quant_cube);
 }
 
 Bdd PartitionedRelationEngine::preimage_via(const Bdd& states,
                                             pn::TransitionId t) {
+  sync_with_order();
   ++stats_.preimage_calls;
   bdd::Manager& m = sym_.manager();
   const SparseApply& a = sparse_apply(t);
@@ -359,6 +388,7 @@ Bdd PartitionedRelationEngine::preimage_via(const Bdd& states,
 }
 
 Bdd PartitionedRelationEngine::preimage(const Bdd& states) {
+  sync_with_order();
   Bdd result = sym_.manager().bdd_false();
   bdd::Manager& m = sym_.manager();
   for (const Cluster& c : clusters_) {

@@ -104,6 +104,17 @@ class ImageEngine {
  protected:
   explicit ImageEngine(SymbolicStg& sym);
 
+  /// Call at the top of an image/preimage computation: when the manager's
+  /// variable order changed since the last call (Manager::reorder_epoch),
+  /// lets the backend refresh order-dependent metadata via on_reorder().
+  /// The cached cubes and relation BDDs themselves survive a reorder --
+  /// sifting rewrites nodes in place, preserving every external handle --
+  /// but anything derived from the *shape* of the order (node-count
+  /// statistics, level-sorted supports) goes stale.
+  void sync_with_order();
+  /// Backend hook invoked by sync_with_order() after a reorder.
+  virtual void on_reorder() {}
+
   SymbolicStg& sym_;
   ImageEngineStats stats_;
 
@@ -111,6 +122,7 @@ class ImageEngine {
   /// Lazily built per transition: OR of strict-postset place literals.
   std::vector<bdd::Bdd> marked_successor_;
   std::vector<bool> marked_successor_built_;
+  std::size_t order_epoch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -176,6 +188,9 @@ class MonolithicRelationEngine final : public ImageEngine {
   /// The monolithic relation (disjunction over all transitions).
   const bdd::Bdd& monolithic() const { return monolithic_; }
 
+ protected:
+  void on_reorder() override;
+
  private:
   bdd::Bdd apply(const bdd::Bdd& states, const bdd::Bdd& relation);
 
@@ -220,6 +235,9 @@ class PartitionedRelationEngine final : public ImageEngine {
   /// legal point for a disjunctive partition.
   std::vector<std::vector<bdd::Var>> quantification_schedule() const;
   std::size_t cluster_node_cap() const { return cap_; }
+
+ protected:
+  void on_reorder() override;
 
  private:
   struct Cluster {

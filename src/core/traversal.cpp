@@ -101,11 +101,11 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
   };
   track_peak(reached);
 
-  std::size_t sift_watermark = options.auto_sift_threshold;
-  // Sifting would break the primed-pair adjacency that relational permute
-  // calls rely on -- including calls made by another engine sharing this
-  // encoding after we return -- so never reorder a primed encoding.
-  const bool allow_sift = options.auto_sift && !sym.has_primed_vars();
+  // Primed encodings reorder safely: their twin pairs are registered as
+  // manager groups, so sifting keeps each v' directly below its v and the
+  // relational renames stay valid -- for this engine and for any other
+  // engine sharing the encoding after we return.
+  AutoSiftPolicy sift_policy(options.auto_sift_threshold);
 
   bool stop = false;
   while (!stop) {
@@ -169,17 +169,20 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
 
     track_peak(reached);
 
-    // Dynamic reordering between passes (never inside one: the cubes and
+    // Between-pass maintenance (never inside a pass: the cubes and
     // literal handles stay valid, only levels move). The raw live count
     // includes garbage held alive by dead parents, so collect first and
     // only sift when the *true* working set doubled since the last
-    // reorder (CUDD's policy).
-    if (allow_sift && sym.manager().live_nodes() > 2 * sift_watermark) {
+    // watermark reset (CUDD's policy, AutoSiftPolicy). The GC and the
+    // watermark run on the same schedule whether or not sifting is
+    // enabled, so sift-on vs sift-off comparisons isolate what the
+    // reordering itself buys.
+    if (sift_policy.should_sift(sym.manager().live_nodes())) {
       sym.manager().collect_garbage();
-      if (sym.manager().live_nodes() > 2 * sift_watermark) {
-        sym.manager().sift();
-        sift_watermark = std::max(options.auto_sift_threshold,
-                                  sym.manager().live_nodes());
+      const std::size_t live = sym.manager().live_nodes();
+      if (sift_policy.should_sift(live)) {
+        if (options.auto_sift) sym.manager().sift();
+        sift_policy.reset_watermark(sym.manager().live_nodes());
       }
     }
 

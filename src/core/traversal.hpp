@@ -13,6 +13,7 @@
 // is bound to the implied value.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -54,14 +55,40 @@ struct TraversalOptions {
   std::size_t max_passes = 0;
   /// Dynamic reordering (an extension beyond the paper, which used static
   /// orders only): sift the variable order whenever the live node count
-  /// has quadrupled since the last reorder. Rescues workloads whose
-  /// structure defeats the static heuristic (e.g. wide fork-join stars).
-  /// Only honoured by the cofactor engine: the relational backends rename
-  /// primed variables with Manager::permute, which needs the twin-pair
-  /// adjacency that sifting would destroy.
+  /// has doubled since the last reorder (AutoSiftPolicy below). Rescues
+  /// workloads whose structure defeats the static heuristic (e.g. wide
+  /// fork-join stars). Honoured by every engine: primed encodings register
+  /// their (v, v') twin pairs as manager reorder groups, so sifting keeps
+  /// the adjacency the relational renames rely on.
   bool auto_sift = true;
   /// Never sift below this table size (sifting churn is not worth it).
   std::size_t auto_sift_threshold = 50'000;
+};
+
+/// The between-pass maintenance trigger: collect garbage -- and, with
+/// auto_sift on, reorder -- when the live node count has more than
+/// doubled since the last watermark reset (CUDD's policy), never below
+/// the configured floor. The same trigger and watermark drive the sift-on
+/// and sift-off paths, so bench comparisons between them measure the
+/// reordering itself rather than differing GC schedules. A standalone
+/// object so the watermark arithmetic is unit-testable.
+struct AutoSiftPolicy {
+  explicit AutoSiftPolicy(std::size_t floor_)
+      : floor(floor_), watermark(floor_) {}
+
+  /// True when `live_nodes` has more than doubled past the watermark.
+  bool should_sift(std::size_t live_nodes) const {
+    return live_nodes > 2 * watermark;
+  }
+  /// After maintenance (GC, and the sift when enabled), the surviving
+  /// live count becomes the new watermark (clamped up to the floor so
+  /// tiny post-sift tables do not re-trigger).
+  void reset_watermark(std::size_t live_nodes) {
+    watermark = std::max(floor, live_nodes);
+  }
+
+  std::size_t floor;      ///< TraversalOptions::auto_sift_threshold
+  std::size_t watermark;  ///< live node count at the last watermark reset
 };
 
 struct TraversalStats {

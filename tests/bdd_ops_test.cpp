@@ -218,5 +218,79 @@ TEST_F(BddOps, AllSatHonorsLimit) {
   EXPECT_THROW(m.all_sat(f, {0, 1, 2, 3}, 7), LimitError);
 }
 
+TEST_F(BddOps, PermuteHandlesLevelReversingRenames) {
+  // a -> d and b -> c reverses relative level order (monotone fast path
+  // does not apply); the result must still be the plain substitution.
+  Bdd f = (a & b) | (!a & !b);
+  std::vector<Var> perm{3, 2, 2, 3};
+  EXPECT_EQ(m.permute(f, perm), (d & c) | (!d & !c));
+  // A 3-cycle a -> b -> c -> a.
+  std::vector<Var> cycle{1, 2, 0, 3};
+  Bdd g = (a & !b) | c;
+  EXPECT_EQ(m.permute(g, cycle), (b & !c) | a);
+  EXPECT_EQ(m.permute(m.permute(m.permute(g, cycle), cycle), cycle), g);
+}
+
+TEST_F(BddOps, PermuteIdentityReturnsSameNode) {
+  Bdd f = (a & b) | c;
+  EXPECT_EQ(m.permute(f, {0, 1, 2, 3}), f);
+}
+
+TEST_F(BddOps, PermuteRejectsNonInjectiveMaps) {
+  // a and b both map to c: a silent merge, reported with the offenders.
+  Bdd f = a & b;
+  try {
+    m.permute(f, {2, 2, 2, 3});
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("injective"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+  }
+  // Injective on the support is enough: b -> c with a untouched is fine
+  // even though the whole vector maps a and c's slots onto the same ids.
+  EXPECT_EQ(m.permute(b, {0, 2, 2, 3}), c);
+}
+
+TEST_F(BddOps, PermuteErrorsNameTheVariableAndLevel) {
+  try {
+    m.permute(c & d, {1, 0});  // support vars c, d not covered
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("v2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'c'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("level 2"), std::string::npos) << msg;
+  }
+  try {
+    m.permute(a, {17, 1, 2, 3});  // target does not exist
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("v17"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(BddOps, PermuteAgreesWithEvalUnderReorderedManager) {
+  Bdd f = (a & !c) | (b & d);
+  std::vector<Var> perm{1, 0, 3, 2};  // swap within both pairs
+  const Bdd before = m.permute(f, perm);
+  m.reorder({3, 1, 0, 2});  // scramble the levels
+  const Bdd after = m.permute(f, perm);
+  EXPECT_EQ(before, after);  // same function regardless of current order
+  for (int row = 0; row < 16; ++row) {
+    std::vector<bool> x(4);
+    for (int v = 0; v < 4; ++v) x[v] = (row >> v) & 1;
+    // permute substitutes variables: evaluating the result under x equals
+    // evaluating f under the pulled-back assignment.
+    std::vector<bool> pulled(4);
+    for (int v = 0; v < 4; ++v) pulled[v] = x[perm[v]];
+    EXPECT_EQ(m.eval(after, x), m.eval(f, pulled)) << "row " << row;
+  }
+}
+
 }  // namespace
 }  // namespace stgcheck::bdd

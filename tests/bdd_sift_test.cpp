@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bdd/bdd.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace stgcheck::bdd {
@@ -128,6 +129,156 @@ TEST(BddSift, SingleVariableManagerIsNoop) {
 TEST(BddSift, EmptyManagerIsNoop) {
   Manager m;
   EXPECT_NO_THROW(m.sift());
+}
+
+// ---------------------------------------------------------------------------
+// Variable groups
+// ---------------------------------------------------------------------------
+
+TEST(BddGroups, GroupVarsValidatesItsInput) {
+  Manager m;
+  m.new_var("a");
+  m.new_var("b");
+  m.new_var("c");
+  EXPECT_THROW(m.group_vars({0}), ModelError);        // too small
+  EXPECT_THROW(m.group_vars({0, 2}), ModelError);     // not adjacent
+  EXPECT_THROW(m.group_vars({1, 0}), ModelError);     // wrong direction
+  EXPECT_THROW(m.group_vars({0, 7}), ModelError);     // unknown variable
+  m.group_vars({0, 1});
+  EXPECT_THROW(m.group_vars({1, 2}), ModelError);     // already grouped
+  ASSERT_EQ(m.group_count(), 1u);
+  EXPECT_EQ(m.group(0), (std::vector<Var>{0, 1}));
+}
+
+TEST(BddGroups, SiftKeepsGroupedPairsAdjacentAndPreservesFunctions) {
+  // The comparator with pairs declared apart (a0..an then b0..bn) forces
+  // sifting to move variables far; grouping creation-order neighbours
+  // makes those moves happen in blocks, which must stay intact wherever
+  // they settle.
+  Manager m;
+  constexpr std::size_t kPairs = 5;
+  std::vector<Bdd> as;
+  std::vector<Bdd> bs;
+  for (std::size_t i = 0; i < kPairs; ++i) as.push_back(m.new_var("a" + std::to_string(i)));
+  for (std::size_t i = 0; i < kPairs; ++i) bs.push_back(m.new_var("b" + std::to_string(i)));
+  // Group each (a_i, a_{i+1}) creation-order pair and each (b_i, b_{i+1}).
+  for (std::size_t i = 0; i + 1 < kPairs; i += 2) m.group_vars({static_cast<Var>(i), static_cast<Var>(i + 1)});
+  for (std::size_t i = 0; i + 1 < kPairs; i += 2) {
+    m.group_vars({static_cast<Var>(kPairs + i), static_cast<Var>(kPairs + i + 1)});
+  }
+  Bdd f = m.bdd_false();
+  for (std::size_t i = 0; i < kPairs; ++i) f |= as[i] & bs[i];
+  const auto sig_before = signature(m, f);
+  const std::size_t epoch_before = m.reorder_epoch();
+  m.sift();
+  EXPECT_EQ(signature(m, f), sig_before);
+  EXPECT_GT(m.reorder_epoch(), epoch_before);
+  for (std::size_t g = 0; g < m.group_count(); ++g) {
+    const std::vector<Var>& members = m.group(g);
+    for (std::size_t i = 1; i < members.size(); ++i) {
+      EXPECT_EQ(m.level_of_var(members[i]), m.level_of_var(members[i - 1]) + 1)
+          << "group " << g << " split by sifting";
+    }
+  }
+}
+
+TEST(BddGroups, GroupedSiftStillShrinksTheComparator) {
+  // Pair each a_i with its b_i AFTER moving them adjacent via reorder();
+  // grouped sifting must then keep every (a_i, b_i) block intact while
+  // still escaping the exponential order.
+  Manager m;
+  constexpr std::size_t kPairs = 6;
+  std::vector<Bdd> as;
+  std::vector<Bdd> bs;
+  for (std::size_t i = 0; i < kPairs; ++i) as.push_back(m.new_var("a" + std::to_string(i)));
+  for (std::size_t i = 0; i < kPairs; ++i) bs.push_back(m.new_var("b" + std::to_string(i)));
+  Bdd f = m.bdd_false();
+  for (std::size_t i = 0; i < kPairs; ++i) f |= as[i] & bs[i];
+  const std::size_t bad_order_size = m.count_nodes(f);
+  const auto sig_before = signature(m, f);
+
+  // Interleave, group the pairs, then scramble back to the bad order --
+  // blocks intact -- and let grouped sifting recover the good one.
+  std::vector<Var> interleaved;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    interleaved.push_back(static_cast<Var>(i));
+    interleaved.push_back(static_cast<Var>(kPairs + i));
+  }
+  m.reorder(interleaved);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    m.group_vars({static_cast<Var>(i), static_cast<Var>(kPairs + i)});
+  }
+  // Back to a bad order, as blocks: (a0 b0) (a1 b1) ... (a5 b5) reversed.
+  std::vector<Var> reversed_blocks;
+  for (std::size_t i = kPairs; i-- > 0;) {
+    reversed_blocks.push_back(static_cast<Var>(i));
+    reversed_blocks.push_back(static_cast<Var>(kPairs + i));
+  }
+  m.reorder(reversed_blocks);
+  EXPECT_EQ(signature(m, f), sig_before);
+
+  std::size_t prev = m.stats().live_count;
+  for (int pass = 0; pass < 5; ++pass) {
+    const std::size_t cur = m.sift();
+    if (cur >= prev) break;
+    prev = cur;
+  }
+  EXPECT_EQ(signature(m, f), sig_before);
+  EXPECT_LT(m.count_nodes(f) * 2, bad_order_size);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    EXPECT_EQ(m.level_of_var(static_cast<Var>(kPairs + i)),
+              m.level_of_var(static_cast<Var>(i)) + 1)
+        << "pair " << i << " split";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit reorder
+// ---------------------------------------------------------------------------
+
+TEST(BddReorder, AppliesAnExactOrderAndPreservesFunctions) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd c = m.new_var("c");
+  Bdd d = m.new_var("d");
+  Bdd f = (a & b) | (!c & d);
+  const auto sig_before = signature(m, f);
+  m.reorder({3, 0, 2, 1});
+  EXPECT_EQ(m.current_order(), (std::vector<Var>{3, 0, 2, 1}));
+  EXPECT_EQ(m.level_of_var(3), 0u);
+  EXPECT_EQ(m.var_at_level(3), 1u);
+  EXPECT_EQ(signature(m, f), sig_before);
+  // Fresh operations after the reorder are still canonical.
+  EXPECT_EQ(f & !f, m.bdd_false());
+  EXPECT_EQ(m.exists(f, m.positive_cube({0})), b | (!c & d));
+}
+
+TEST(BddReorder, ValidatesPermutationsAndGroups) {
+  Manager m;
+  m.new_var("a");
+  m.new_var("b");
+  m.new_var("c");
+  m.new_var("d");
+  EXPECT_THROW(m.reorder({0, 1, 2}), ModelError);     // wrong size
+  EXPECT_THROW(m.reorder({0, 1, 2, 2}), ModelError);  // duplicate
+  EXPECT_THROW(m.reorder({0, 1, 2, 9}), ModelError);  // unknown
+  m.group_vars({1, 2});
+  EXPECT_THROW(m.reorder({1, 0, 2, 3}), ModelError);  // splits the group
+  EXPECT_THROW(m.reorder({0, 2, 1, 3}), ModelError);  // reverses the group
+  EXPECT_NO_THROW(m.reorder({3, 1, 2, 0}));           // block kept intact
+  EXPECT_EQ(m.level_of_var(2), m.level_of_var(1) + 1);
+}
+
+TEST(BddReorder, NoopOrderDoesNotBumpTheEpoch) {
+  Manager m;
+  m.new_var("a");
+  m.new_var("b");
+  const std::size_t epoch = m.reorder_epoch();
+  m.reorder({0, 1});
+  EXPECT_EQ(m.reorder_epoch(), epoch);
+  m.reorder({1, 0});
+  EXPECT_EQ(m.reorder_epoch(), epoch + 1);
 }
 
 }  // namespace

@@ -158,6 +158,54 @@ TEST(Traversal, StatsArePopulated) {
   EXPECT_GT(r.stats.states, 0.0);
 }
 
+TEST(AutoSiftPolicy, TriggersOnDoublingOnly) {
+  // The documented policy: reorder when the live count has more than
+  // doubled since the last reorder (not quadrupled -- the doc and the code
+  // disagreed once; this pins the doubling rule).
+  AutoSiftPolicy policy(100);
+  EXPECT_EQ(policy.watermark, 100u);
+  EXPECT_FALSE(policy.should_sift(0));
+  EXPECT_FALSE(policy.should_sift(200));  // exactly 2x: not yet
+  EXPECT_TRUE(policy.should_sift(201));
+}
+
+TEST(AutoSiftPolicy, WatermarkFollowsTheLiveCountButNeverTheFloor) {
+  AutoSiftPolicy policy(100);
+  policy.reset_watermark(500);  // table grew: next trigger at > 1000
+  EXPECT_EQ(policy.watermark, 500u);
+  EXPECT_FALSE(policy.should_sift(1000));
+  EXPECT_TRUE(policy.should_sift(1001));
+  policy.reset_watermark(30);  // sift shrank below the floor: clamp up
+  EXPECT_EQ(policy.watermark, 100u);
+  EXPECT_FALSE(policy.should_sift(150));
+}
+
+TEST(AutoSiftPolicy, ZeroFloorSiftsAtTheFirstOpportunity) {
+  AutoSiftPolicy policy(0);
+  EXPECT_TRUE(policy.should_sift(1));
+  policy.reset_watermark(40);
+  EXPECT_FALSE(policy.should_sift(80));
+  EXPECT_TRUE(policy.should_sift(81));
+}
+
+TEST(Traversal, ForcedAutoSiftMatchesBaselineAndActuallyReorders) {
+  stg::Stg s = stg::master_read(3);
+  SymbolicStg baseline_sym(s);
+  TraversalOptions off;
+  off.auto_sift = false;
+  const TraversalResult baseline = traverse(baseline_sym, off);
+
+  SymbolicStg sym(s);
+  TraversalOptions on;
+  on.auto_sift = true;
+  on.auto_sift_threshold = 0;
+  const TraversalResult sifted = traverse(sym, on);
+  EXPECT_TRUE(sifted.ok());
+  EXPECT_DOUBLE_EQ(sifted.stats.states, baseline.stats.states);
+  EXPECT_DOUBLE_EQ(sifted.stats.markings, baseline.stats.markings);
+  EXPECT_GT(sym.manager().reorder_epoch(), 0u);
+}
+
 TEST(Traversal, DeadlockDetection) {
   stg::Stg live = stg::muller_pipeline(3);
   SymbolicStg sym_live(live);

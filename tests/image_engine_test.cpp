@@ -12,6 +12,7 @@
 
 #include "core/image_engine.hpp"
 #include "core/traversal.hpp"
+#include "random_stg.hpp"
 #include "stg/generators.hpp"
 #include "util/rng.hpp"
 
@@ -142,48 +143,10 @@ TEST(QuantificationSchedule, MonolithicQuantifiesEverythingAtOnce) {
 // Random STGs: partitioned == monolithic == cofactor
 // ---------------------------------------------------------------------------
 
-/// A random safe STG: a few token rings (one token each, so the net is a
-/// safe marked graph) whose transitions draw from a shared signal pool
-/// with alternating directions per signal.
-stg::Stg random_stg(Rng& rng) {
-  stg::Stg s;
-  s.set_name("random");
-  const std::size_t n_signals = 2 + rng.below(4);
-  std::vector<stg::SignalId> sigs;
-  for (std::size_t i = 0; i < n_signals; ++i) {
-    sigs.push_back(s.add_signal("s" + std::to_string(i),
-                                rng.flip() ? stg::SignalKind::kInput
-                                           : stg::SignalKind::kOutput));
-  }
-  std::vector<stg::Dir> next_dir(n_signals, stg::Dir::kPlus);
-  std::size_t round_robin = 0;
-  const std::size_t n_rings = 1 + rng.below(3);
-  for (std::size_t ring = 0; ring < n_rings; ++ring) {
-    const std::size_t len = 2 + rng.below(5);
-    std::vector<pn::TransitionId> ts;
-    for (std::size_t j = 0; j < len; ++j) {
-      // Guarantee every signal is used before going fully random.
-      const stg::SignalId sid = round_robin < n_signals
-                                    ? sigs[round_robin++]
-                                    : sigs[rng.below(n_signals)];
-      const stg::Dir dir = next_dir[sid];
-      next_dir[sid] =
-          dir == stg::Dir::kPlus ? stg::Dir::kMinus : stg::Dir::kPlus;
-      ts.push_back(s.add_transition(sid, dir));
-    }
-    for (std::size_t j = 0; j < len; ++j) {
-      s.connect(ts[j], ts[(j + 1) % len], j == 0 ? 1 : 0);
-    }
-  }
-  // Known initial values (first occurrence of each signal is a rise).
-  for (stg::SignalId sid : sigs) s.set_initial_value(sid, false);
-  return s;
-}
-
 TEST(RandomStgs, PartitionedMatchesMonolithicAndCofactor) {
   Rng rng(0xC0FFEE);
   for (int trial = 0; trial < 12; ++trial) {
-    const stg::Stg s = random_stg(rng);
+    const stg::Stg s = testutil::random_stg(rng);
     auto sym = primed_encoding(s);
     CofactorEngine cofactor(*sym);
     MonolithicRelationEngine monolithic(*sym);
