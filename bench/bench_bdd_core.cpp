@@ -36,8 +36,24 @@ void BM_BddConjunction(benchmark::State& state) {
     benchmark::DoNotOptimize(f & g);
   }
   state.counters["nodes"] = static_cast<double>(m.stats().live_count);
+  state.counters["cache_hit_rate"] = m.stats().cache_hit_rate();
 }
 BENCHMARK(BM_BddConjunction)->Arg(16)->Arg(32)->Arg(64);
+
+// Negation is an edge-flag flip in the complement-edge kernel: this is
+// the O(1) baseline the set-difference and check formulas now ride on.
+void BM_BddNegation(benchmark::State& state) {
+  bdd::Manager m;
+  for (std::size_t v = 0; v < 64; ++v) m.new_var();
+  Rng rng(19);
+  Bdd f = random_sop(m, rng, 64, 32);
+  for (auto _ : state) {
+    Bdd nf = !f;
+    benchmark::DoNotOptimize(nf);
+  }
+  state.counters["nodes"] = static_cast<double>(m.stats().live_count);
+}
+BENCHMARK(BM_BddNegation);
 
 void BM_BddExists(benchmark::State& state) {
   const std::size_t vars = static_cast<std::size_t>(state.range(0));

@@ -21,13 +21,24 @@
 // BDDs at the expense of the relational image intermediates (mread8
 // monolithic): dynamic reordering is a lever, not a free lunch.
 //
+// Every row also reports the kernel-health counters that complement-edge
+// and cache work move: the computed-cache hit rate and the unique-table
+// load factor, both read from ManagerStats at the end of the arm.
+//
 // Results are printed and also written to BENCH_traversal.json.
 // Usage: bench_traversal_strategies [--sift | --no-sift]
+//                                   [--family <name>]... [--out <path>]
 //   --sift     only the sift-on arms  (writes BENCH_traversal.sift.json)
 //   --no-sift  only the sift-off arms (writes BENCH_traversal.nosift.json)
-//   (default: both, written to the canonical BENCH_traversal.json)
+//   --family   run only the named net family (muller16, mread8, mutex12,
+//              select24); repeatable. The CI bench-smoke job uses this to
+//              gate on the fast families only.
+//   --out      override the output JSON path.
+//   (default: both arms, all families, written to BENCH_traversal.json)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -51,6 +62,8 @@ struct Row {
   std::size_t relation_nodes = 0; // 0 for the cofactor arms
   std::size_t units = 0;
   std::size_t reorders = 0;       // completed sift passes
+  double cache_hit_rate = 0;      // computed-cache hits / lookups
+  double unique_load = 0;         // unique-table nodes per bucket
   double seconds = 0;
   double states = 0;
 };
@@ -60,9 +73,10 @@ std::vector<Row> g_rows;
 void record(const Row& row) {
   std::printf(
       "  %-22s passes=%4zu images=%6zu peak=%8zu live-peak=%8zu rel=%6zu "
-      "units=%4zu reorders=%2zu time=%7.3fs states=%.3e\n",
+      "units=%4zu reorders=%2zu hit=%.3f load=%.2f time=%7.3fs states=%.3e\n",
       row.arm.c_str(), row.passes, row.images, row.peak_reached, row.peak_live,
-      row.relation_nodes, row.units, row.reorders, row.seconds, row.states);
+      row.relation_nodes, row.units, row.reorders, row.cache_hit_rate,
+      row.unique_load, row.seconds, row.states);
   std::fflush(stdout);
   g_rows.push_back(row);
 }
@@ -80,10 +94,12 @@ void run_cofactor_arm(const stg::Stg& s, const std::string& name,
   core::SymbolicStg sym(s);
   core::CofactorEngine engine(sym);
   core::TraversalResult r = core::traverse(engine, arm_options(strategy, sift));
+  const bdd::ManagerStats ms = sym.manager().stats();
   record(Row{s.name(), name, sift, r.stats.passes, r.stats.image_computations,
              r.stats.peak_reached_nodes, sym.manager().peak_live_nodes(),
              engine.stats().relation_nodes, engine.stats().units,
-             sym.manager().reorder_epoch(), watch.seconds(), r.stats.states});
+             sym.manager().reorder_epoch(), ms.cache_hit_rate(),
+             ms.unique_load_factor(), watch.seconds(), r.stats.states});
 }
 
 void run_relation_arm(const stg::Stg& s, const std::string& name,
@@ -95,10 +111,12 @@ void run_relation_arm(const stg::Stg& s, const std::string& name,
   const std::unique_ptr<core::ImageEngine> engine =
       core::make_engine(kind, sym);
   core::TraversalResult r = core::traverse(*engine, arm_options(strategy, sift));
+  const bdd::ManagerStats ms = sym.manager().stats();
   record(Row{s.name(), name, sift, r.stats.passes, r.stats.image_computations,
              r.stats.peak_reached_nodes, sym.manager().peak_live_nodes(),
              engine->stats().relation_nodes, engine->stats().units,
-             sym.manager().reorder_epoch(), watch.seconds(), r.stats.states});
+             sym.manager().reorder_epoch(), ms.cache_hit_rate(),
+             ms.unique_load_factor(), watch.seconds(), r.stats.states});
 }
 
 void run(const stg::Stg& s, bool sift_off, bool sift_on) {
@@ -137,11 +155,13 @@ void write_json(const char* path) {
                  "\"passes\": %zu, "
                  "\"images\": %zu, \"peak_reached_nodes\": %zu, "
                  "\"peak_live_nodes\": %zu, \"relation_nodes\": %zu, "
-                 "\"units\": %zu, \"reorders\": %zu, \"seconds\": %.6f, "
-                 "\"states\": %.6e}%s\n",
+                 "\"units\": %zu, \"reorders\": %zu, "
+                 "\"cache_hit_rate\": %.4f, \"unique_table_load\": %.4f, "
+                 "\"seconds\": %.6f, \"states\": %.6e}%s\n",
                  r.family.c_str(), r.arm.c_str(), r.sift ? "true" : "false",
                  r.passes, r.images, r.peak_reached, r.peak_live,
-                 r.relation_nodes, r.units, r.reorders, r.seconds, r.states,
+                 r.relation_nodes, r.units, r.reorders, r.cache_hit_rate,
+                 r.unique_load, r.seconds, r.states,
                  i + 1 < g_rows.size() ? "," : "");
   }
   std::fputs("]\n", f);
@@ -149,18 +169,36 @@ void write_json(const char* path) {
   std::printf("wrote %s (%zu rows)\n", path, g_rows.size());
 }
 
+bool family_selected(const std::vector<std::string>& families,
+                     const char* name) {
+  if (families.empty()) return true;
+  for (const std::string& f : families) {
+    if (f == name) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool sift_off = true;
   bool sift_on = true;
+  std::vector<std::string> families;
+  const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sift") == 0) {
       sift_off = false;
     } else if (std::strcmp(argv[i], "--no-sift") == 0) {
       sift_on = false;
+    } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
+      families.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--sift | --no-sift]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--sift | --no-sift] [--family <name>]... "
+                   "[--out <path>]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -169,15 +207,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sift and --no-sift are mutually exclusive\n");
     return 1;
   }
+  // One table drives both --family validation and the dispatch below.
+  const struct {
+    const char* name;
+    stg::Stg (*make)();
+  } kFamilies[] = {
+      {"muller16", [] { return stg::muller_pipeline(16); }},
+      {"mread8", [] { return stg::master_read(8); }},
+      {"mutex12", [] { return stg::mutex_arbiter(12); }},
+      {"select24", [] { return stg::select_chain(24); }},
+  };
+  for (const std::string& f : families) {
+    const bool known =
+        std::any_of(std::begin(kFamilies), std::end(kFamilies),
+                    [&](const auto& fam) { return f == fam.name; });
+    if (!known) {
+      std::fprintf(stderr, "unknown family '%s'\n", f.c_str());
+      return 1;
+    }
+  }
   std::puts("=== Traversal strategy ablation (Fig. 5) ===");
-  run(stg::muller_pipeline(16), sift_off, sift_on);
-  run(stg::master_read(8), sift_off, sift_on);
-  run(stg::mutex_arbiter(12), sift_off, sift_on);
-  run(stg::select_chain(24), sift_off, sift_on);
-  // Restricted runs write to a mode-suffixed file so a half table never
-  // clobbers the canonical sift-on/sift-off comparison artifact.
-  write_json(sift_off && sift_on  ? "BENCH_traversal.json"
-             : sift_on            ? "BENCH_traversal.sift.json"
-                                  : "BENCH_traversal.nosift.json");
+  for (const auto& fam : kFamilies) {
+    if (family_selected(families, fam.name)) {
+      run(fam.make(), sift_off, sift_on);
+    }
+  }
+  if (out_path != nullptr) {
+    write_json(out_path);
+    return 0;
+  }
+  // Restricted runs write to a mode- and subset-suffixed file so a half
+  // table never clobbers the canonical comparison artifact (or another
+  // restricted run's output).
+  const std::string mode = sift_off && sift_on ? "" : sift_on ? ".sift" : ".nosift";
+  const std::string subset = families.empty() ? "" : ".partial";
+  write_json(("BENCH_traversal" + subset + mode + ".json").c_str());
   return 0;
 }

@@ -1,11 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus strict warnings on the library targets.
 # Mirrors .github/workflows/ci.yml for offline use.
+#
+# Usage: ci.sh [--fast]
+#   --fast  run only the `unit` ctest label (skips the property and
+#           integration suites; the CI sanitize job always runs everything)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BUILD_DIR="${BUILD_DIR:-build-ci}"
 
-cmake -B "$BUILD_DIR" -S . -DSTGCHECK_WERROR=ON
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+CMAKE_EXTRA=()
+if command -v ccache > /dev/null 2>&1; then
+  CMAKE_EXTRA+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$BUILD_DIR" -S . -DSTGCHECK_WERROR=ON "${CMAKE_EXTRA[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if [[ "$FAST" == 1 ]]; then
+  ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure -j "$(nproc)"
+else
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi

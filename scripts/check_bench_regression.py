@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Gate a fresh bench_traversal_strategies run against the checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json [options]
+
+Compares every (family, arm, sift) row present in both files:
+
+  * states must match exactly -- a drifting state count is a correctness
+    bug, not a perf regression, and fails regardless of thresholds;
+  * peak_live_nodes may grow by at most --peak-threshold (default 25%);
+  * seconds may grow by at most --time-threshold (default 25%), but only
+    for rows whose baseline is at least --min-seconds (default 0.5s):
+    shorter rows are timer noise on shared CI runners.
+
+Rows present only in one file are reported but do not fail the gate (the
+smoke job runs a family subset of the full baseline).
+
+Exit status: 0 when every compared row is within budget, 1 otherwise.
+To see the gate trip, inflate any peak_live_nodes value in the baseline's
+muller16/mutex12 rows by >25% (or deflate the fresh one) and rerun.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as fh:
+        rows = json.load(fh)
+    table = {}
+    for row in rows:
+        key = (row["family"], row["arm"], row["sift"])
+        if key in table:
+            raise SystemExit(f"{path}: duplicate row {key}")
+        table[key] = row
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--peak-threshold", type=float, default=0.25,
+                        help="allowed relative growth of peak_live_nodes")
+    parser.add_argument("--time-threshold", type=float, default=0.25,
+                        help="allowed relative growth of seconds")
+    parser.add_argument("--min-seconds", type=float, default=0.5,
+                        help="baseline seconds below which timing is ignored")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print("error: no common rows between baseline and fresh run")
+        return 1
+    for key in sorted(set(fresh) - set(baseline)):
+        print(f"note: row {key} has no baseline; skipping")
+    failures = []
+
+    def fmt(key):
+        family, arm, sift = key
+        return f"{family} / {arm}" + (" [sift]" if sift else "")
+
+    print(f"comparing {len(shared)} rows "
+          f"(peak +{args.peak_threshold:.0%}, time +{args.time_threshold:.0%} "
+          f"over {args.min_seconds}s)")
+    for key in shared:
+        base, cur = baseline[key], fresh[key]
+
+        if base["states"] != cur["states"]:
+            failures.append(
+                f"{fmt(key)}: states changed {base['states']:g} -> "
+                f"{cur['states']:g} (correctness, not perf)")
+            print(f"  FAIL  {fmt(key):44s} states {base['states']:g} -> "
+                  f"{cur['states']:g}")
+            continue
+
+        b_peak, c_peak = base["peak_live_nodes"], cur["peak_live_nodes"]
+        peak_ratio = c_peak / b_peak if b_peak else 1.0
+        if peak_ratio > 1.0 + args.peak_threshold:
+            failures.append(
+                f"{fmt(key)}: peak_live_nodes {b_peak} -> {c_peak} "
+                f"(+{peak_ratio - 1.0:.1%})")
+
+        b_sec, c_sec = base["seconds"], cur["seconds"]
+        if b_sec >= args.min_seconds:
+            time_ratio = c_sec / b_sec
+            if time_ratio > 1.0 + args.time_threshold:
+                failures.append(
+                    f"{fmt(key)}: seconds {b_sec:.3f} -> {c_sec:.3f} "
+                    f"(+{time_ratio - 1.0:.1%})")
+
+        marker = "FAIL" if failures and failures[-1].startswith(fmt(key)) else "ok"
+        print(f"  {marker:>4}  {fmt(key):44s} peak {b_peak:>9} -> {c_peak:>9}"
+              f"  time {b_sec:7.3f}s -> {c_sec:7.3f}s")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) past budget:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nall rows within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

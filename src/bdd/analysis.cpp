@@ -1,6 +1,12 @@
 // Structural analysis: support, node counting, SAT counting, minterm
 // extraction and text/dot output. None of these allocate BDD nodes except
 // pick_one_minterm (which builds a cube).
+//
+// With complement edges a function and its negation share one graph, so
+// every walk here visits *nodes* (stamped by table index, complement flag
+// ignored) while the value-dependent recursions (SAT counting, eval)
+// thread the flag through: a complemented edge contributes 1 - p where a
+// regular edge contributes p.
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -29,7 +35,7 @@ std::vector<Var> Manager::support(const Bdd& f) const {
     const NodeRef r = stack.back();
     stack.pop_back();
     if (is_term(r)) continue;
-    const Node& n = node(r);
+    const Node& n = deref(r);
     if (n.stamp == stamp) continue;
     n.stamp = stamp;
     seen_var[n.var] = true;
@@ -65,7 +71,7 @@ std::size_t Manager::count_nodes(const std::vector<Bdd>& fs) const {
     const NodeRef r = stack.back();
     stack.pop_back();
     if (is_term(r)) continue;
-    const Node& n = node(r);
+    const Node& n = deref(r);
     if (n.stamp == stamp) continue;
     n.stamp = stamp;
     ++count;
@@ -81,16 +87,19 @@ std::size_t Manager::count_nodes(const std::vector<Bdd>& fs) const {
 
 double Manager::sat_count(const Bdd& f) const {
   // Satisfaction probability over uniform assignments, times 2^n. The
-  // probability recursion avoids any level arithmetic.
+  // probability is memoized per *edge*, complement flag included, and the
+  // flag is pushed down through low_of/high_of until it hits a terminal.
+  // Computing a complemented edge as 1 - p(node) would be catastrophic
+  // here: for a sparse function over n > 53 variables, p(node) rounds to
+  // exactly 1.0 in double and the complement cancels to zero minterms.
   std::unordered_map<NodeRef, double> prob;
-  std::function<double(NodeRef)> go = [&](NodeRef r) -> double {
-    if (r == kFalse) return 0.0;
-    if (r == kTrue) return 1.0;
-    auto it = prob.find(r);
+  std::function<double(NodeRef)> go = [&](NodeRef e) -> double {
+    if (e == kTrue) return 1.0;
+    if (e == kFalse) return 0.0;
+    const auto it = prob.find(e);
     if (it != prob.end()) return it->second;
-    const Node& n = node(r);
-    const double p = 0.5 * go(n.low) + 0.5 * go(n.high);
-    prob.emplace(r, p);
+    const double p = 0.5 * go(low_of(e)) + 0.5 * go(high_of(e));
+    prob.emplace(e, p);
     return p;
   };
   return go(f.ref()) * std::pow(2.0, static_cast<double>(var2level_.size()));
@@ -115,9 +124,9 @@ double Manager::sat_count_over(const Bdd& f, const std::vector<Var>& vars) const
 bool Manager::eval(const Bdd& f, const std::vector<bool>& assignment) const {
   NodeRef r = f.ref();
   while (!is_term(r)) {
-    const Node& n = node(r);
-    if (n.var >= assignment.size()) throw ModelError("eval: assignment too short");
-    r = assignment[n.var] ? n.high : n.low;
+    const Var v = deref(r).var;
+    if (v >= assignment.size()) throw ModelError("eval: assignment too short");
+    r = assignment[v] ? high_of(r) : low_of(r);
   }
   return r == kTrue;
 }
@@ -131,11 +140,12 @@ Bdd Manager::pick_one_minterm(const Bdd& f, const std::vector<Var>& vars) {
   std::vector<bool> value(var2level_.size(), false);
   NodeRef r = f.ref();
   while (!is_term(r)) {
-    const Node& n = node(r);
-    const bool go_high = n.low == kFalse;
-    chosen[n.var] = true;
-    value[n.var] = go_high;
-    r = go_high ? n.high : n.low;
+    const Var v = deref(r).var;
+    const NodeRef low = low_of(r);
+    const bool go_high = low == kFalse;
+    chosen[v] = true;
+    value[v] = go_high;
+    r = go_high ? high_of(r) : low;
   }
   assert(r == kTrue);
   for (Var v : vars) {
@@ -175,9 +185,9 @@ std::vector<CubeLiterals> Manager::all_sat(const Bdd& f,
     const Var v = ordered[i];
     NodeRef low = r;
     NodeRef high = r;
-    if (!is_term(r) && node(r).var == v) {
-      low = node(r).low;
-      high = node(r).high;
+    if (!is_term(r) && deref(r).var == v) {
+      low = low_of(r);
+      high = high_of(r);
     }
     current.push_back(Literal{v, false});
     go(low, i + 1);
@@ -197,24 +207,38 @@ std::string Manager::to_dot(
     const std::vector<std::pair<std::string, Bdd>>& roots) const {
   std::ostringstream out;
   out << "digraph bdd {\n  rankdir=TB;\n";
+  // Complemented edges get a dot-shaped arrowhead; the single terminal is 1.
+  const auto edge_attrs = [](NodeRef e, bool dashed) {
+    std::string attrs;
+    if (dashed) attrs += "style=dashed";
+    if (edge_complemented(e)) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += "arrowhead=odot";
+    }
+    return attrs.empty() ? std::string() : " [" + attrs + "]";
+  };
   const std::uint32_t stamp = next_stamp();
   std::vector<NodeRef> stack;
   for (const auto& [name, f] : roots) {
     out << "  \"" << name << "\" [shape=plaintext];\n";
-    out << "  \"" << name << "\" -> n" << f.ref() << ";\n";
+    out << "  \"" << name << "\" -> n" << edge_index(f.ref())
+        << edge_attrs(f.ref(), false) << ";\n";
     stack.push_back(f.ref());
   }
-  out << "  n0 [label=\"0\", shape=box];\n  n1 [label=\"1\", shape=box];\n";
+  out << "  n0 [label=\"1\", shape=box];\n";
   while (!stack.empty()) {
     const NodeRef r = stack.back();
     stack.pop_back();
     if (is_term(r)) continue;
-    const Node& n = node(r);
+    const Node& n = deref(r);
     if (n.stamp == stamp) continue;
     n.stamp = stamp;
-    out << "  n" << r << " [label=\"" << var_names_[n.var] << "\"];\n";
-    out << "  n" << r << " -> n" << n.low << " [style=dashed];\n";
-    out << "  n" << r << " -> n" << n.high << ";\n";
+    const std::uint32_t idx = edge_index(r);
+    out << "  n" << idx << " [label=\"" << var_names_[n.var] << "\"];\n";
+    out << "  n" << idx << " -> n" << edge_index(n.low)
+        << edge_attrs(n.low, true) << ";\n";
+    out << "  n" << idx << " -> n" << edge_index(n.high)
+        << edge_attrs(n.high, false) << ";\n";
     stack.push_back(n.low);
     stack.push_back(n.high);
   }

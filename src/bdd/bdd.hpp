@@ -19,14 +19,29 @@
 //
 // Design notes
 // ------------
-// Nodes live in a flat vector and are addressed by 32-bit handles; handles
-// 0 and 1 are the terminals. There are no complement edges: negation is a
-// cached operation, which is cheap at the sizes the paper's workloads reach
-// and keeps the reduction rules trivial. Reference counts include both
-// parent edges and external references; `Bdd` is the RAII external handle.
-// Dead nodes stay in the unique table (they may be resurrected by a lookup)
-// until garbage collection sweeps them, which only happens between
-// top-level operations, never inside a recursion.
+// The package uses complement edges (Brace-Rudell-Bryant '90). A `NodeRef`
+// is an attributed edge, not a node index: the low bit is the complement
+// flag and the remaining 31 bits index the node table. Negation is a
+// single XOR of the flag -- O(1), no new nodes, and f and NOT f share one
+// graph. There is a single terminal node (index 0) denoting the constant
+// 1; `kTrue` is the regular edge to it and `kFalse` the complemented one.
+//
+// Canonical form: a stored node's then (high) edge is always regular.
+// mk() enforces this by flipping both children and returning a
+// complemented edge whenever the then-edge would carry the flag, so
+// structural equality of edges remains functional equivalence. ITE
+// normalizes its standard triple the same way -- first argument regular,
+// then-argument regular, output complement pulled out -- so the
+// (f, g, NOT h) variants of a call share one computed-cache slot, and
+// OR/NOT/FORALL are derived from AND/EXISTS through De Morgan instead of
+// holding cache space of their own.
+//
+// Nodes live in a flat vector. Reference counts include both parent edges
+// and external references and are kept per node (both polarities of an
+// edge pin the same node); `Bdd` is the RAII external handle. Dead nodes
+// stay in the unique table (they may be resurrected by a lookup) until
+// garbage collection sweeps them, which only happens between top-level
+// operations, never inside a recursion.
 #pragma once
 
 #include <cstdint>
@@ -37,15 +52,31 @@
 
 namespace stgcheck::bdd {
 
-/// Index of a node in the manager's node table.
+/// Attributed edge into the manager's node table: bit 0 is the complement
+/// flag, bits 31..1 the node index.
 using NodeRef = std::uint32_t;
 /// Variable identifier (dense, starting at 0, in creation order).
 using Var = std::uint32_t;
 
-inline constexpr NodeRef kFalse = 0;
-inline constexpr NodeRef kTrue = 1;
+/// The regular edge to the terminal node (constant 1).
+inline constexpr NodeRef kTrue = 0;
+/// The complemented edge to the terminal node (constant 0).
+inline constexpr NodeRef kFalse = 1;
 inline constexpr NodeRef kInvalidRef = std::numeric_limits<NodeRef>::max();
 inline constexpr Var kInvalidVar = std::numeric_limits<Var>::max();
+
+/// O(1) negation: flips the complement flag.
+constexpr NodeRef bdd_not(NodeRef e) { return e ^ 1u; }
+/// Node-table index of the edge's target.
+constexpr std::uint32_t edge_index(NodeRef e) { return e >> 1; }
+/// True if the edge carries the complement flag.
+constexpr bool edge_complemented(NodeRef e) { return (e & 1u) != 0; }
+/// The edge with the complement flag cleared.
+constexpr NodeRef edge_regular(NodeRef e) { return e & ~1u; }
+/// Builds an edge from a node index and a complement flag.
+constexpr NodeRef make_edge(std::uint32_t index, bool complemented) {
+  return (index << 1) | (complemented ? 1u : 0u);
+}
 
 class Manager;
 
@@ -69,9 +100,9 @@ class Bdd {
 
   bool is_false() const { return ref_ == kFalse && valid(); }
   bool is_true() const { return ref_ == kTrue && valid(); }
-  bool is_terminal() const { return ref_ <= kTrue && valid(); }
+  bool is_terminal() const { return edge_index(ref_) == 0 && valid(); }
 
-  /// Structural equality: same manager, same node. Canonicity makes this
+  /// Structural equality: same manager, same edge. Canonicity makes this
   /// functional equivalence.
   friend bool operator==(const Bdd& a, const Bdd& b) {
     return a.manager_ == b.manager_ && a.ref_ == b.ref_;
@@ -79,7 +110,8 @@ class Bdd {
   friend bool operator!=(const Bdd& a, const Bdd& b) { return !(a == b); }
 
   // Logical connectives. All of them may trigger garbage collection after
-  // computing their result (never during).
+  // computing their result (never during). Negation only flips the
+  // complement flag of the edge and never allocates.
   Bdd operator&(const Bdd& other) const;
   Bdd operator|(const Bdd& other) const;
   Bdd operator^(const Bdd& other) const;
@@ -125,7 +157,23 @@ struct ManagerStats {
   std::size_t unique_hits = 0;  ///< unique-table lookups that found a node
   std::size_t cache_hits = 0;   ///< computed-cache hits
   std::size_t cache_lookups = 0;
+  std::size_t bucket_count = 0;  ///< unique-table buckets (for load factor)
   std::size_t var_count = 0;
+
+  /// Computed-cache hit rate in [0, 1]; 0 when no lookups happened.
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+  /// Unique-table load factor: nodes per bucket.
+  double unique_load_factor() const {
+    return bucket_count == 0
+               ? 0.0
+               : static_cast<double>(node_count) /
+                     static_cast<double>(bucket_count);
+  }
 };
 
 /// The BDD manager: node table, unique table, computed cache, variable
@@ -206,7 +254,8 @@ class Manager {
 
   /// Variables f depends on, sorted by current level.
   std::vector<Var> support(const Bdd& f) const;
-  /// Number of BDD nodes reachable from f (terminals excluded).
+  /// Number of BDD nodes reachable from f (the terminal excluded). With
+  /// complement edges f and !f share the same graph and count.
   std::size_t count_nodes(const Bdd& f) const;
   /// Number of nodes in the union of the given functions' graphs.
   std::size_t count_nodes(const std::vector<Bdd>& fs) const;
@@ -274,9 +323,19 @@ class Manager {
   std::size_t live_nodes() const { return node_count_ - dead_count_; }
   std::size_t peak_live_nodes() const { return peak_live_; }
 
+  // ---- Diagnostics -------------------------------------------------------
+
+  /// Walks the whole node table and throws ModelError on any violation of
+  /// the kernel invariants: then-edges regular (complement-edge canonical
+  /// form), no redundant nodes, children strictly below their parent in
+  /// the order, unique-table membership and exact node/dead counts. Used
+  /// by the property tests after sifting and reordering; O(table size).
+  void check_invariants() const;
+
   // ---- Output ------------------------------------------------------------
 
-  /// Graphviz dot of the given functions (named roots).
+  /// Graphviz dot of the given functions (named roots). Complemented
+  /// edges are drawn with a dot-shaped arrowhead.
   std::string to_dot(const std::vector<std::pair<std::string, Bdd>>& roots) const;
   /// Human-readable disjunction of up to `max_cubes` ISOP cubes.
   std::string to_string(const Bdd& f, std::size_t max_cubes = 16);
@@ -286,16 +345,15 @@ class Manager {
 
   struct Node {
     Var var;
-    NodeRef low;
-    NodeRef high;
-    NodeRef next;        // unique-table chain / free-list link
-    std::uint32_t refs;  // parent edges + external handles
+    NodeRef low;            // attributed edge
+    NodeRef high;           // always a regular edge (canonical form)
+    std::uint32_t next;     // unique-table chain / free-list link (index)
+    std::uint32_t refs;     // parent edges + external handles
     mutable std::uint32_t stamp;  // visited marker for walks
   };
 
   enum class Op : std::uint8_t {
-    kAnd, kOr, kXor, kNot, kIte, kExists, kForall, kAndExists, kCofactor,
-    kRestrict
+    kAnd, kXor, kIte, kExists, kAndExists, kCofactor, kRestrict
   };
 
   struct CacheEntry {
@@ -306,28 +364,42 @@ class Manager {
     NodeRef result = kInvalidRef;
   };
 
-  // Node helpers.
-  const Node& node(NodeRef r) const { return nodes_[r]; }
-  Node& node(NodeRef r) { return nodes_[r]; }
-  bool is_term(NodeRef r) const { return r <= kTrue; }
-  std::size_t level(NodeRef r) const {
-    return is_term(r) ? kTerminalLevel : var2level_[nodes_[r].var];
+  static constexpr std::uint32_t kNilIndex =
+      std::numeric_limits<std::uint32_t>::max();
+
+  // Node helpers. deref() ignores the complement flag: both polarities of
+  // an edge share the node. low_of()/high_of() apply the flag, so they
+  // return the true cofactors of the *function* the edge denotes.
+  const Node& deref(NodeRef e) const { return nodes_[edge_index(e)]; }
+  Node& deref(NodeRef e) { return nodes_[edge_index(e)]; }
+  const Node& node_at(std::uint32_t idx) const { return nodes_[idx]; }
+  Node& node_at(std::uint32_t idx) { return nodes_[idx]; }
+  bool is_term(NodeRef e) const { return edge_index(e) == 0; }
+  NodeRef low_of(NodeRef e) const {
+    return deref(e).low ^ (e & 1u);
+  }
+  NodeRef high_of(NodeRef e) const {
+    return deref(e).high ^ (e & 1u);
+  }
+  std::size_t level(NodeRef e) const {
+    return is_term(e) ? kTerminalLevel : var2level_[deref(e).var];
   }
   static constexpr std::size_t kTerminalLevel =
       std::numeric_limits<std::size_t>::max();
 
-  // Reference counting.
-  void inc_ref(NodeRef r);
-  void dec_ref(NodeRef r);
+  // Reference counting (per node: both edge polarities pin the target).
+  void inc_ref(NodeRef e);
+  void dec_ref(NodeRef e);
 
   // Unique table.
   NodeRef mk(Var v, NodeRef low, NodeRef high);
   NodeRef alloc_node(Var v, NodeRef low, NodeRef high);
-  void unique_insert(NodeRef r);
-  void unique_remove(NodeRef r);
+  void unique_insert(std::uint32_t idx);
+  void unique_remove(std::uint32_t idx);
   std::size_t hash_triple(Var v, NodeRef low, NodeRef high) const;
   void grow_buckets();
   void maybe_gc();
+  void free_node(std::uint32_t idx);
 
   // Computed cache.
   NodeRef cache_lookup(Op op, NodeRef f, NodeRef g, NodeRef h) const;
@@ -335,15 +407,16 @@ class Manager {
   void clear_cache();
 
   // Recursive cores (raw NodeRef level; no GC may run while these are on
-  // the stack).
+  // the stack). OR, NOT and FORALL are not recursions of their own: they
+  // are De Morgan duals of AND and EXISTS, sharing their caches.
   NodeRef and_rec(NodeRef f, NodeRef g);
-  NodeRef or_rec(NodeRef f, NodeRef g);
+  NodeRef or_rec(NodeRef f, NodeRef g) {
+    return bdd_not(and_rec(bdd_not(f), bdd_not(g)));
+  }
   NodeRef xor_rec(NodeRef f, NodeRef g);
-  NodeRef not_rec(NodeRef f);
   NodeRef ite_rec(NodeRef f, NodeRef g, NodeRef h);
   NodeRef cofactor_rec(NodeRef f, NodeRef cube);
   NodeRef exists_rec(NodeRef f, NodeRef cube);
-  NodeRef forall_rec(NodeRef f, NodeRef cube);
   NodeRef and_exists_rec(NodeRef f, NodeRef g, NodeRef cube);
   NodeRef restrict_rec(NodeRef f, NodeRef care);
   NodeRef permute_rec(NodeRef f, const std::vector<Var>& perm,
@@ -360,7 +433,6 @@ class Manager {
 
   // Walk helpers.
   std::uint32_t next_stamp() const;
-  void mark_reachable(NodeRef r) const;
 
   // Reordering internals (sift.cpp). A "block" is a registered group's
   // member list (top to bottom) or a singleton ungrouped variable; between
@@ -377,13 +449,13 @@ class Manager {
 
   // Data.
   std::vector<Node> nodes_;
-  NodeRef free_list_ = kInvalidRef;
+  std::uint32_t free_list_ = kNilIndex;
   std::size_t node_count_ = 0;  // nodes in table (live + dead)
   std::size_t dead_count_ = 0;
   std::size_t peak_live_ = 0;
   std::size_t gc_runs_ = 0;
 
-  std::vector<NodeRef> buckets_;
+  std::vector<std::uint32_t> buckets_;  // head node index per bucket
   std::size_t bucket_mask_ = 0;
   mutable std::size_t unique_hits_ = 0;
 
@@ -405,7 +477,7 @@ class Manager {
   mutable std::uint32_t stamp_counter_ = 0;
 
   bool sift_tracking_ = false;
-  std::vector<std::vector<NodeRef>> nodes_at_var_;
+  std::vector<std::vector<std::uint32_t>> nodes_at_var_;  // node indices
 
   bool gc_enabled_ = true;
 };

@@ -1,6 +1,9 @@
 // Minato-Morreale irredundant sum-of-products generation from a BDD
 // interval [on, upper]. Used by src/logic to print gate equations derived
 // from the excitation/quiescent regions of a CSC-satisfying state graph.
+// The recursion runs on attributed edges: cofactors go through
+// low_of/high_of (which fold the complement flag in) and the "not inside
+// the other branch" terms use O(1) edge negation.
 #include "bdd/bdd.hpp"
 
 #include <cassert>
@@ -37,27 +40,27 @@ NodeRef Manager::isop_rec(NodeRef on, NodeRef upper, CubeLiterals& prefix,
   const std::size_t top = std::min(lon, lup);
   const Var v = level2var_[top];
 
-  const NodeRef on0 = lon == top ? node(on).low : on;
-  const NodeRef on1 = lon == top ? node(on).high : on;
-  const NodeRef up0 = lup == top ? node(upper).low : upper;
-  const NodeRef up1 = lup == top ? node(upper).high : upper;
+  const NodeRef on0 = lon == top ? low_of(on) : on;
+  const NodeRef on1 = lon == top ? high_of(on) : on;
+  const NodeRef up0 = lup == top ? low_of(upper) : upper;
+  const NodeRef up1 = lup == top ? high_of(upper) : upper;
 
   // Cubes that must contain the literal v' : needed where the v=0 on-set
   // cannot be covered by a cube valid on both sides (not inside up1).
-  const NodeRef need0 = and_rec(on0, not_rec(up1));
+  const NodeRef need0 = and_rec(on0, bdd_not(up1));
   prefix.push_back(Literal{v, false});
   const NodeRef f0 = isop_rec(need0, up0, prefix, cover);
   prefix.pop_back();
 
   // Cubes that must contain the literal v.
-  const NodeRef need1 = and_rec(on1, not_rec(up0));
+  const NodeRef need1 = and_rec(on1, bdd_not(up0));
   prefix.push_back(Literal{v, true});
   const NodeRef f1 = isop_rec(need1, up1, prefix, cover);
   prefix.pop_back();
 
   // Remaining on-set, coverable by cubes independent of v.
-  const NodeRef rest0 = and_rec(on0, not_rec(f0));
-  const NodeRef rest1 = and_rec(on1, not_rec(f1));
+  const NodeRef rest0 = and_rec(on0, bdd_not(f0));
+  const NodeRef rest1 = and_rec(on1, bdd_not(f1));
   const NodeRef rest = or_rec(rest0, rest1);
   const NodeRef updc = and_rec(up0, up1);
   const NodeRef fd = isop_rec(rest, updc, prefix, cover);

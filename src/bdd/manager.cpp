@@ -91,11 +91,11 @@ Manager::Manager(std::size_t initial_capacity) {
   const std::size_t cap = std::max<std::size_t>(initial_capacity, 1024);
   nodes_.reserve(cap);
 
-  // Terminals occupy handles 0 and 1 and are permanently referenced.
-  nodes_.push_back(Node{kInvalidVar, kFalse, kFalse, kInvalidRef, 1, 0});
-  nodes_.push_back(Node{kInvalidVar, kTrue, kTrue, kInvalidRef, 1, 0});
+  // The single terminal (constant 1) occupies index 0 and is permanently
+  // referenced; constant 0 is the complemented edge to it.
+  nodes_.push_back(Node{kInvalidVar, kTrue, kTrue, kNilIndex, 1, 0});
 
-  buckets_.assign(round_up_pow2(cap), kInvalidRef);
+  buckets_.assign(round_up_pow2(cap), kNilIndex);
   bucket_mask_ = buckets_.size() - 1;
 
   cache_.assign(round_up_pow2(cap / 2), CacheEntry{});
@@ -124,7 +124,8 @@ Bdd Manager::var(Var v) {
 
 Bdd Manager::nvar(Var v) {
   if (v >= var2level_.size()) throw ModelError("unknown BDD variable");
-  return make_handle(mk(v, kTrue, kFalse));
+  // Shares the projection node: only the edge differs.
+  return make_handle(bdd_not(mk(v, kFalse, kTrue)));
 }
 
 const std::string& Manager::var_name(Var v) const { return var_names_.at(v); }
@@ -169,13 +170,15 @@ CubeLiterals Manager::cube_literals(const Bdd& c) const {
   NodeRef r = c.ref();
   if (r == kFalse) throw ModelError("false is not a cube");
   while (!is_term(r)) {
-    const Node& n = node(r);
-    if (n.low == kFalse && n.high != kFalse) {
-      literals.push_back(Literal{n.var, true});
-      r = n.high;
-    } else if (n.high == kFalse && n.low != kFalse) {
-      literals.push_back(Literal{n.var, false});
-      r = n.low;
+    const Var v = deref(r).var;
+    const NodeRef low = low_of(r);
+    const NodeRef high = high_of(r);
+    if (low == kFalse && high != kFalse) {
+      literals.push_back(Literal{v, true});
+      r = high;
+    } else if (high == kFalse && low != kFalse) {
+      literals.push_back(Literal{v, false});
+      r = low;
     } else {
       throw ModelError("BDD is not a cube");
     }
@@ -187,21 +190,22 @@ CubeLiterals Manager::cube_literals(const Bdd& c) const {
 // Reference counting
 // ---------------------------------------------------------------------------
 
-void Manager::inc_ref(NodeRef r) {
-  Node& n = node(r);
-  if (n.refs == 0 && r > kTrue) --dead_count_;
+void Manager::inc_ref(NodeRef e) {
+  const std::uint32_t idx = edge_index(e);
+  if (idx == 0) return;  // the terminal is permanent
+  Node& n = node_at(idx);
+  if (n.refs == 0) --dead_count_;
   ++n.refs;
-  if (r > kTrue && n.refs == 1) {
+  if (n.refs == 1) {
     const std::size_t live = node_count_ - dead_count_;
     peak_live_ = std::max(peak_live_, live);
   }
 }
 
-void Manager::dec_ref(NodeRef r) {
-  if (r <= kTrue) {
-    return;  // terminals are permanent
-  }
-  Node& n = node(r);
+void Manager::dec_ref(NodeRef e) {
+  const std::uint32_t idx = edge_index(e);
+  if (idx == 0) return;  // the terminal is permanent
+  Node& n = node_at(idx);
   assert(n.refs > 0);
   --n.refs;
   if (n.refs == 0) ++dead_count_;
@@ -221,29 +225,36 @@ std::size_t Manager::hash_triple(Var v, NodeRef low, NodeRef high) const {
 
 NodeRef Manager::mk(Var v, NodeRef low, NodeRef high) {
   if (low == high) return low;
+  // Canonical form: the then-edge must be regular. Complement both
+  // children and pull the flag out of the node when it is not.
+  if (edge_complemented(high)) {
+    return bdd_not(mk(v, bdd_not(low), bdd_not(high)));
+  }
   assert(var2level_[v] < level(low) && var2level_[v] < level(high));
 
   const std::size_t slot = hash_triple(v, low, high);
-  for (NodeRef r = buckets_[slot]; r != kInvalidRef; r = node(r).next) {
-    const Node& n = node(r);
+  for (std::uint32_t idx = buckets_[slot]; idx != kNilIndex;
+       idx = node_at(idx).next) {
+    const Node& n = node_at(idx);
     if (n.var == v && n.low == low && n.high == high) {
       ++unique_hits_;
-      return r;  // possibly a dead node being resurrected; refs handled by caller
+      // Possibly a dead node being resurrected; refs handled by caller.
+      return make_edge(idx, false);
     }
   }
   return alloc_node(v, low, high);
 }
 
 NodeRef Manager::alloc_node(Var v, NodeRef low, NodeRef high) {
-  NodeRef r;
-  if (free_list_ != kInvalidRef) {
-    r = free_list_;
-    free_list_ = node(r).next;
+  std::uint32_t idx;
+  if (free_list_ != kNilIndex) {
+    idx = free_list_;
+    free_list_ = node_at(idx).next;
   } else {
-    r = static_cast<NodeRef>(nodes_.size());
+    idx = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back(Node{});
   }
-  Node& n = node(r);
+  Node& n = node_at(idx);
   n.var = v;
   n.low = low;
   n.high = high;
@@ -254,31 +265,31 @@ NodeRef Manager::alloc_node(Var v, NodeRef low, NodeRef high) {
   inc_ref(low);
   inc_ref(high);
 
-  if (sift_tracking_) nodes_at_var_[v].push_back(r);
+  if (sift_tracking_) nodes_at_var_[v].push_back(idx);
 
-  unique_insert(r);
+  unique_insert(idx);
   if (node_count_ > buckets_.size()) grow_buckets();
-  return r;
+  return make_edge(idx, false);
 }
 
-void Manager::unique_insert(NodeRef r) {
-  Node& n = node(r);
+void Manager::unique_insert(std::uint32_t idx) {
+  Node& n = node_at(idx);
   const std::size_t slot = hash_triple(n.var, n.low, n.high);
   n.next = buckets_[slot];
-  buckets_[slot] = r;
+  buckets_[slot] = idx;
 }
 
-void Manager::unique_remove(NodeRef r) {
-  Node& n = node(r);
+void Manager::unique_remove(std::uint32_t idx) {
+  Node& n = node_at(idx);
   const std::size_t slot = hash_triple(n.var, n.low, n.high);
-  NodeRef cur = buckets_[slot];
-  if (cur == r) {
+  std::uint32_t cur = buckets_[slot];
+  if (cur == idx) {
     buckets_[slot] = n.next;
     return;
   }
-  while (cur != kInvalidRef) {
-    Node& c = node(cur);
-    if (c.next == r) {
+  while (cur != kNilIndex) {
+    Node& c = node_at(cur);
+    if (c.next == idx) {
       c.next = n.next;
       return;
     }
@@ -288,13 +299,12 @@ void Manager::unique_remove(NodeRef r) {
 }
 
 void Manager::grow_buckets() {
-  buckets_.assign(buckets_.size() * 2, kInvalidRef);
+  buckets_.assign(buckets_.size() * 2, kNilIndex);
   bucket_mask_ = buckets_.size() - 1;
   // Re-chain every node in the table (live and dead).
-  for (NodeRef r = 2; r < nodes_.size(); ++r) {
-    Node& n = node(r);
-    if (n.var == kInvalidVar) continue;  // free-listed
-    unique_insert(r);
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    if (node_at(idx).var == kInvalidVar) continue;  // free-listed
+    unique_insert(idx);
   }
   // Keep the computed cache proportional to the table: a direct-mapped
   // cache far smaller than the working set thrashes and turns the
@@ -342,6 +352,15 @@ void Manager::clear_cache() {
 // Garbage collection
 // ---------------------------------------------------------------------------
 
+void Manager::free_node(std::uint32_t idx) {
+  Node& n = node_at(idx);
+  n.var = kInvalidVar;
+  n.next = free_list_;
+  free_list_ = idx;
+  --node_count_;
+  --dead_count_;
+}
+
 void Manager::maybe_gc() {
   if (!gc_enabled_) return;
   if (node_count_ < 4096) return;
@@ -354,32 +373,29 @@ void Manager::collect_garbage() {
   // Dead nodes still hold references to their children (dropped lazily,
   // here). Removing a dead node can therefore kill its children; iterate
   // until the dead set is stable.
-  std::vector<NodeRef> worklist;
-  for (NodeRef r = 2; r < nodes_.size(); ++r) {
-    Node& n = node(r);
-    if (n.var != kInvalidVar && n.refs == 0) worklist.push_back(r);
+  std::vector<std::uint32_t> worklist;
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    Node& n = node_at(idx);
+    if (n.var != kInvalidVar && n.refs == 0) worklist.push_back(idx);
   }
   while (!worklist.empty()) {
-    const NodeRef r = worklist.back();
+    const std::uint32_t idx = worklist.back();
     worklist.pop_back();
-    Node& n = node(r);
+    Node& n = node_at(idx);
     if (n.var == kInvalidVar || n.refs != 0) continue;  // already freed / resurrected
-    unique_remove(r);
+    unique_remove(idx);
     const NodeRef low = n.low;
     const NodeRef high = n.high;
-    n.var = kInvalidVar;
-    n.next = free_list_;
-    free_list_ = r;
-    --node_count_;
-    --dead_count_;
+    free_node(idx);
     for (NodeRef child : {low, high}) {
-      if (child > kTrue) {
-        Node& c = node(child);
+      const std::uint32_t cidx = edge_index(child);
+      if (cidx != 0) {
+        Node& c = node_at(cidx);
         assert(c.refs > 0);
         --c.refs;
         if (c.refs == 0) {
           ++dead_count_;
-          worklist.push_back(child);
+          worklist.push_back(cidx);
         }
       }
     }
@@ -402,8 +418,60 @@ ManagerStats Manager::stats() const {
   s.unique_hits = unique_hits_;
   s.cache_hits = cache_hits_;
   s.cache_lookups = cache_lookups_;
+  s.bucket_count = buckets_.size();
   s.var_count = var2level_.size();
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking
+// ---------------------------------------------------------------------------
+
+void Manager::check_invariants() const {
+  const auto fail = [](const std::string& what) {
+    throw ModelError("BDD invariant violated: " + what);
+  };
+  const Node& term = node_at(0);
+  if (term.var != kInvalidVar || term.refs == 0) fail("terminal corrupted");
+
+  std::size_t live = 0;
+  std::size_t dead = 0;
+  std::size_t in_table = 0;
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    const Node& n = node_at(idx);
+    if (n.var == kInvalidVar) continue;  // free-listed
+    ++in_table;
+    if (n.refs == 0) ++dead; else ++live;
+    const std::string where = " (node " + std::to_string(idx) + ")";
+    if (n.var >= var2level_.size()) fail("unknown variable" + where);
+    if (edge_complemented(n.high)) fail("complemented then-edge" + where);
+    if (n.low == n.high) fail("redundant node" + where);
+    const NodeRef self = make_edge(idx, false);
+    for (const NodeRef child : {n.low, n.high}) {
+      if (edge_index(child) >= nodes_.size()) fail("child out of range" + where);
+      if (deref(child).var == kInvalidVar && !is_term(child)) {
+        fail("child is free-listed" + where);
+      }
+      if (!is_term(child) && level(child) <= level(self)) {
+        fail("child not below parent in the order" + where);
+      }
+    }
+    // The node must be findable through the unique table (canonicity).
+    const std::size_t slot = hash_triple(n.var, n.low, n.high);
+    bool found = false;
+    std::size_t matches = 0;
+    for (std::uint32_t cur = buckets_[slot]; cur != kNilIndex;
+         cur = node_at(cur).next) {
+      if (cur == idx) found = true;
+      const Node& c = node_at(cur);
+      if (c.var == n.var && c.low == n.low && c.high == n.high) ++matches;
+    }
+    if (!found) fail("node missing from its unique-table bucket" + where);
+    if (matches != 1) fail("duplicate triple in the unique table" + where);
+  }
+  if (in_table != node_count_) fail("node_count out of sync");
+  if (dead != dead_count_) fail("dead_count out of sync");
+  if (live != node_count_ - dead_count_) fail("live count out of sync");
 }
 
 }  // namespace stgcheck::bdd

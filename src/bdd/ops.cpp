@@ -1,7 +1,13 @@
-// Recursive cores of the Boolean operations. Garbage collection never runs
-// while a recursion is on the stack: handle-level wrappers compute the raw
-// result, protect it with an external reference, and only then call
-// maybe_gc().
+// Recursive cores of the Boolean operations on attributed (complement)
+// edges. Garbage collection never runs while a recursion is on the stack:
+// handle-level wrappers compute the raw result, protect it with an
+// external reference, and only then call maybe_gc().
+//
+// Complement-edge cache discipline: NOT is free (flip the flag), OR is
+// De Morgan over AND, FORALL is De Morgan over EXISTS, XOR strips both
+// complement flags into an output flag, and ITE normalizes its standard
+// triple (regular predicate, regular then-argument) -- so every variant of
+// a call that differs only in argument polarity lands on one cache slot.
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
@@ -34,9 +40,8 @@ Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) {
 }
 
 Bdd Manager::apply_not(const Bdd& f) {
-  Bdd result = make_handle(not_rec(f.ref()));
-  maybe_gc();
-  return result;
+  // O(1): negation is the complement flag of the edge.
+  return make_handle(bdd_not(f.ref()));
 }
 
 Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
@@ -58,7 +63,8 @@ Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
 }
 
 Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
-  Bdd result = make_handle(forall_rec(f.ref(), cube.ref()));
+  // De Morgan: forall x. f == not exists x. not f -- shares the EXISTS cache.
+  Bdd result = make_handle(bdd_not(exists_rec(bdd_not(f.ref()), cube.ref())));
   maybe_gc();
   return result;
 }
@@ -126,33 +132,40 @@ Bdd Manager::permute(const Bdd& f, const std::vector<Var>& perm) {
 NodeRef Manager::permute_rec(NodeRef f, const std::vector<Var>& perm,
                              std::unordered_map<NodeRef, NodeRef>& memo) {
   if (is_term(f)) return f;
-  auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
-  const Var v = node(f).var;
-  const NodeRef flow = node(f).low;
-  const NodeRef fhigh = node(f).high;
+  // permute(not f) == not permute(f): memoize on the regular edge and
+  // re-apply the complement flag on the way out.
+  const NodeRef flag = f & 1u;
+  const NodeRef fr = edge_regular(f);
+  auto it = memo.find(fr);
+  if (it != memo.end()) return it->second ^ flag;
+  // Copy fields before recursing: mk may reallocate the node vector.
+  const Var v = deref(fr).var;
+  const NodeRef flow = deref(fr).low;
+  const NodeRef fhigh = deref(fr).high;
   const NodeRef low = permute_rec(flow, perm, memo);
   const NodeRef r = mk(perm[v], low, permute_rec(fhigh, perm, memo));
-  memo.emplace(f, r);
-  return r;
+  memo.emplace(fr, r);
+  return r ^ flag;
 }
 
 NodeRef Manager::permute_general_rec(NodeRef f, const std::vector<Var>& perm,
                                      std::unordered_map<NodeRef, NodeRef>& memo) {
   if (is_term(f)) return f;
-  auto it = memo.find(f);
-  if (it != memo.end()) return it->second;
+  const NodeRef flag = f & 1u;
+  const NodeRef fr = edge_regular(f);
+  auto it = memo.find(fr);
+  if (it != memo.end()) return it->second ^ flag;
   // Shannon expansion composed through ITE: the renamed variable may land
   // at any level, above or below the recursively renamed cofactors, and
   // ite_rec re-normalizes regardless.
-  const Var v = node(f).var;
-  const NodeRef flow = node(f).low;
-  const NodeRef fhigh = node(f).high;
+  const Var v = deref(fr).var;
+  const NodeRef flow = deref(fr).low;
+  const NodeRef fhigh = deref(fr).high;
   const NodeRef low = permute_general_rec(flow, perm, memo);
   const NodeRef high = permute_general_rec(fhigh, perm, memo);
   const NodeRef r = ite_rec(mk(perm[v], kFalse, kTrue), high, low);
-  memo.emplace(f, r);
-  return r;
+  memo.emplace(fr, r);
+  return r ^ flag;
 }
 
 bool Bdd::disjoint_with(const Bdd& other) const {
@@ -161,7 +174,7 @@ bool Bdd::disjoint_with(const Bdd& other) const {
 }
 
 // ---------------------------------------------------------------------------
-// AND / OR / XOR / NOT
+// AND / XOR (OR and NOT are De Morgan / flag flips; see the header)
 // ---------------------------------------------------------------------------
 
 NodeRef Manager::and_rec(NodeRef f, NodeRef g) {
@@ -169,6 +182,7 @@ NodeRef Manager::and_rec(NodeRef f, NodeRef g) {
   if (f == kTrue) return g;
   if (g == kTrue) return f;
   if (f == g) return f;
+  if (f == bdd_not(g)) return kFalse;
   if (f > g) std::swap(f, g);  // commutative: canonicalize for the cache
 
   NodeRef cached = cache_lookup(Op::kAnd, f, g, kFalse);
@@ -178,79 +192,46 @@ NodeRef Manager::and_rec(NodeRef f, NodeRef g) {
   const std::size_t lg = level(g);
   const std::size_t top = std::min(lf, lg);
   const Var v = level2var_[top];
-  const NodeRef f0 = lf == top ? node(f).low : f;
-  const NodeRef f1 = lf == top ? node(f).high : f;
-  const NodeRef g0 = lg == top ? node(g).low : g;
-  const NodeRef g1 = lg == top ? node(g).high : g;
+  const NodeRef f0 = lf == top ? low_of(f) : f;
+  const NodeRef f1 = lf == top ? high_of(f) : f;
+  const NodeRef g0 = lg == top ? low_of(g) : g;
+  const NodeRef g1 = lg == top ? high_of(g) : g;
 
   const NodeRef r = mk(v, and_rec(f0, g0), and_rec(f1, g1));
   cache_store(Op::kAnd, f, g, kFalse, r);
   return r;
 }
 
-NodeRef Manager::or_rec(NodeRef f, NodeRef g) {
-  if (f == kTrue || g == kTrue) return kTrue;
-  if (f == kFalse) return g;
-  if (g == kFalse) return f;
-  if (f == g) return f;
-  if (f > g) std::swap(f, g);
-
-  NodeRef cached = cache_lookup(Op::kOr, f, g, kFalse);
-  if (cached != kInvalidRef) return cached;
-
-  const std::size_t lf = level(f);
-  const std::size_t lg = level(g);
-  const std::size_t top = std::min(lf, lg);
-  const Var v = level2var_[top];
-  const NodeRef f0 = lf == top ? node(f).low : f;
-  const NodeRef f1 = lf == top ? node(f).high : f;
-  const NodeRef g0 = lg == top ? node(g).low : g;
-  const NodeRef g1 = lg == top ? node(g).high : g;
-
-  const NodeRef r = mk(v, or_rec(f0, g0), or_rec(f1, g1));
-  cache_store(Op::kOr, f, g, kFalse, r);
-  return r;
-}
-
 NodeRef Manager::xor_rec(NodeRef f, NodeRef g) {
   if (f == kFalse) return g;
   if (g == kFalse) return f;
+  if (f == kTrue) return bdd_not(g);
+  if (g == kTrue) return bdd_not(f);
   if (f == g) return kFalse;
-  if (f == kTrue) return not_rec(g);
-  if (g == kTrue) return not_rec(f);
+  if (f == bdd_not(g)) return kTrue;
+
+  // xor(not f, g) == not xor(f, g): strip both flags into an output flag so
+  // all four polarity variants share one cache slot.
+  const NodeRef flag = (f ^ g) & 1u;
+  f = edge_regular(f);
+  g = edge_regular(g);
   if (f > g) std::swap(f, g);
 
   NodeRef cached = cache_lookup(Op::kXor, f, g, kFalse);
-  if (cached != kInvalidRef) return cached;
+  if (cached != kInvalidRef) return cached ^ flag;
 
   const std::size_t lf = level(f);
   const std::size_t lg = level(g);
   const std::size_t top = std::min(lf, lg);
   const Var v = level2var_[top];
-  const NodeRef f0 = lf == top ? node(f).low : f;
-  const NodeRef f1 = lf == top ? node(f).high : f;
-  const NodeRef g0 = lg == top ? node(g).low : g;
-  const NodeRef g1 = lg == top ? node(g).high : g;
+  const NodeRef f0 = lf == top ? low_of(f) : f;
+  const NodeRef f1 = lf == top ? high_of(f) : f;
+  const NodeRef g0 = lg == top ? low_of(g) : g;
+  const NodeRef g1 = lg == top ? high_of(g) : g;
 
   const NodeRef r = mk(v, xor_rec(f0, g0), xor_rec(f1, g1));
   cache_store(Op::kXor, f, g, kFalse, r);
-  return r;
-}
-
-NodeRef Manager::not_rec(NodeRef f) {
-  if (f == kFalse) return kTrue;
-  if (f == kTrue) return kFalse;
-
-  NodeRef cached = cache_lookup(Op::kNot, f, kFalse, kFalse);
-  if (cached != kInvalidRef) return cached;
-
-  // Copy fields before recursing: mk may reallocate the node vector.
-  const Var v = node(f).var;
-  const NodeRef low = node(f).low;
-  const NodeRef high = node(f).high;
-  const NodeRef r = mk(v, not_rec(low), not_rec(high));
-  cache_store(Op::kNot, f, kFalse, kFalse, r);
-  return r;
+  return r ^ flag;
 }
 
 // ---------------------------------------------------------------------------
@@ -261,30 +242,50 @@ NodeRef Manager::ite_rec(NodeRef f, NodeRef g, NodeRef h) {
   if (f == kTrue) return g;
   if (f == kFalse) return h;
   if (g == h) return g;
+  if (f == g) g = kTrue;                    // f ? f : h  ==  f ? 1 : h
+  else if (f == bdd_not(g)) g = kFalse;     // f ? !f : h ==  f ? 0 : h
+  if (f == h) h = kFalse;                   // f ? g : f  ==  f ? g : 0
+  else if (f == bdd_not(h)) h = kTrue;      // f ? g : !f ==  f ? g : 1
   if (g == kTrue && h == kFalse) return f;
-  if (g == kFalse && h == kTrue) return not_rec(f);
-  if (f == g) g = kTrue;   // f ? f : h  ==  f ? 1 : h
-  if (f == h) h = kFalse;  // f ? g : f  ==  f ? g : 0
-  if (g == kTrue && h == kFalse) return f;
-  if (g == kFalse) return and_rec(not_rec(f), h);
+  if (g == kFalse && h == kTrue) return bdd_not(f);
+  // Two-operand escapes: route to AND/XOR (and their De Morgan duals) so
+  // the general triple cache only ever sees genuine three-operand calls.
   if (h == kFalse) return and_rec(f, g);
+  if (g == kFalse) return and_rec(bdd_not(f), h);
   if (g == kTrue) return or_rec(f, h);
-  if (h == kTrue) return or_rec(not_rec(f), g);
+  if (h == kTrue) return or_rec(bdd_not(f), g);
+  if (g == bdd_not(h)) return bdd_not(xor_rec(f, g));
+
+  // Standard triple normalization (Brace-Rudell-Bryant): make the
+  // predicate regular (ite(!f,g,h) == ite(f,h,g)), then make the
+  // then-argument regular by pulling the complement out of the result
+  // (ite(f,!g,!h) == !ite(f,g,h)). Every (f, g, not-h) polarity variant of
+  // a triple now shares a single cache slot.
+  if (edge_complemented(f)) {
+    f = bdd_not(f);
+    std::swap(g, h);
+  }
+  NodeRef flag = 0;
+  if (edge_complemented(g)) {
+    flag = 1;
+    g = bdd_not(g);
+    h = bdd_not(h);
+  }
 
   NodeRef cached = cache_lookup(Op::kIte, f, g, h);
-  if (cached != kInvalidRef) return cached;
+  if (cached != kInvalidRef) return cached ^ flag;
 
   const std::size_t top =
       std::min({level(f), level(g), level(h)});
   const Var v = level2var_[top];
   const auto cof = [&](NodeRef x, bool hi) {
     if (level(x) != top) return x;
-    return hi ? node(x).high : node(x).low;
+    return hi ? high_of(x) : low_of(x);
   };
   const NodeRef r = mk(v, ite_rec(cof(f, false), cof(g, false), cof(h, false)),
                        ite_rec(cof(f, true), cof(g, true), cof(h, true)));
   cache_store(Op::kIte, f, g, h, r);
-  return r;
+  return r ^ flag;
 }
 
 // ---------------------------------------------------------------------------
@@ -295,8 +296,8 @@ NodeRef Manager::cofactor_rec(NodeRef f, NodeRef cube) {
   if (is_term(f)) return f;
   // Skip cube literals whose level is above f's top (they do not constrain f).
   while (!is_term(cube) && level(cube) < level(f)) {
-    const Node& c = node(cube);
-    cube = c.low == kFalse ? c.high : c.low;
+    const NodeRef clow = low_of(cube);
+    cube = clow == kFalse ? high_of(cube) : clow;
   }
   if (is_term(cube)) return f;
 
@@ -304,11 +305,11 @@ NodeRef Manager::cofactor_rec(NodeRef f, NodeRef cube) {
   if (cached != kInvalidRef) return cached;
 
   // Copy fields before recursing: mk may reallocate the node vector.
-  const Var v = node(f).var;
-  const NodeRef flow = node(f).low;
-  const NodeRef fhigh = node(f).high;
-  const NodeRef clow = node(cube).low;
-  const NodeRef chigh = node(cube).high;
+  const Var v = deref(f).var;
+  const NodeRef flow = low_of(f);
+  const NodeRef fhigh = high_of(f);
+  const NodeRef clow = low_of(cube);
+  const NodeRef chigh = high_of(cube);
   NodeRef r;
   if (level(f) == level(cube)) {
     // Follow the polarity dictated by the cube.
@@ -328,19 +329,19 @@ NodeRef Manager::cofactor_rec(NodeRef f, NodeRef cube) {
 
 NodeRef Manager::exists_rec(NodeRef f, NodeRef cube) {
   if (is_term(f)) return f;
-  while (!is_term(cube) && level(cube) < level(f)) cube = node(cube).high;
+  while (!is_term(cube) && level(cube) < level(f)) cube = high_of(cube);
   if (is_term(cube)) return f;
 
   NodeRef cached = cache_lookup(Op::kExists, f, cube, kFalse);
   if (cached != kInvalidRef) return cached;
 
   // Copy fields before recursing: mk may reallocate the node vector.
-  const Var v = node(f).var;
-  const NodeRef flow = node(f).low;
-  const NodeRef fhigh = node(f).high;
+  const Var v = deref(f).var;
+  const NodeRef flow = low_of(f);
+  const NodeRef fhigh = high_of(f);
   NodeRef r;
   if (level(f) == level(cube)) {
-    const NodeRef rest = node(cube).high;
+    const NodeRef rest = high_of(cube);
     const NodeRef low = exists_rec(flow, rest);
     if (low == kTrue) {
       r = kTrue;  // early termination: the disjunction is already everything
@@ -355,37 +356,9 @@ NodeRef Manager::exists_rec(NodeRef f, NodeRef cube) {
   return r;
 }
 
-NodeRef Manager::forall_rec(NodeRef f, NodeRef cube) {
-  if (is_term(f)) return f;
-  while (!is_term(cube) && level(cube) < level(f)) cube = node(cube).high;
-  if (is_term(cube)) return f;
-
-  NodeRef cached = cache_lookup(Op::kForall, f, cube, kFalse);
-  if (cached != kInvalidRef) return cached;
-
-  // Copy fields before recursing: mk may reallocate the node vector.
-  const Var v = node(f).var;
-  const NodeRef flow = node(f).low;
-  const NodeRef fhigh = node(f).high;
-  NodeRef r;
-  if (level(f) == level(cube)) {
-    const NodeRef rest = node(cube).high;
-    const NodeRef low = forall_rec(flow, rest);
-    if (low == kFalse) {
-      r = kFalse;
-    } else {
-      r = and_rec(low, forall_rec(fhigh, rest));
-    }
-  } else {
-    const NodeRef low = forall_rec(flow, cube);
-    r = mk(v, low, forall_rec(fhigh, cube));
-  }
-  cache_store(Op::kForall, f, cube, kFalse, r);
-  return r;
-}
-
 NodeRef Manager::and_exists_rec(NodeRef f, NodeRef g, NodeRef cube) {
   if (f == kFalse || g == kFalse) return kFalse;
+  if (f == bdd_not(g)) return kFalse;
   if (f == kTrue && g == kTrue) return kTrue;
   if (f == kTrue) return exists_rec(g, cube);
   if (g == kTrue) return exists_rec(f, cube);
@@ -393,7 +366,7 @@ NodeRef Manager::and_exists_rec(NodeRef f, NodeRef g, NodeRef cube) {
   if (f > g) std::swap(f, g);
 
   const std::size_t top = std::min(level(f), level(g));
-  while (!is_term(cube) && level(cube) < top) cube = node(cube).high;
+  while (!is_term(cube) && level(cube) < top) cube = high_of(cube);
   if (is_term(cube)) return and_rec(f, g);
 
   NodeRef cached = cache_lookup(Op::kAndExists, f, g, cube);
@@ -402,14 +375,14 @@ NodeRef Manager::and_exists_rec(NodeRef f, NodeRef g, NodeRef cube) {
   const std::size_t lf = level(f);
   const std::size_t lg = level(g);
   const Var v = level2var_[top];
-  const NodeRef f0 = lf == top ? node(f).low : f;
-  const NodeRef f1 = lf == top ? node(f).high : f;
-  const NodeRef g0 = lg == top ? node(g).low : g;
-  const NodeRef g1 = lg == top ? node(g).high : g;
+  const NodeRef f0 = lf == top ? low_of(f) : f;
+  const NodeRef f1 = lf == top ? high_of(f) : f;
+  const NodeRef g0 = lg == top ? low_of(g) : g;
+  const NodeRef g1 = lg == top ? high_of(g) : g;
 
   NodeRef r;
   if (level(cube) == top) {
-    const NodeRef rest = node(cube).high;
+    const NodeRef rest = high_of(cube);
     const NodeRef low = and_exists_rec(f0, g0, rest);
     if (low == kTrue) {
       r = kTrue;
@@ -439,20 +412,21 @@ NodeRef Manager::restrict_rec(NodeRef f, NodeRef care) {
   NodeRef r;
   if (lc < lf) {
     // The care set constrains a variable f does not test: smooth it out.
-    const Node& c = node(care);
-    if (c.low == kFalse) {
-      r = restrict_rec(f, c.high);
-    } else if (c.high == kFalse) {
-      r = restrict_rec(f, c.low);
+    const NodeRef clow = low_of(care);
+    const NodeRef chigh = high_of(care);
+    if (clow == kFalse) {
+      r = restrict_rec(f, chigh);
+    } else if (chigh == kFalse) {
+      r = restrict_rec(f, clow);
     } else {
-      r = restrict_rec(f, or_rec(c.low, c.high));
+      r = restrict_rec(f, or_rec(clow, chigh));
     }
   } else {
-    const Var v = node(f).var;
-    const NodeRef flow = node(f).low;
-    const NodeRef fhigh = node(f).high;
-    const NodeRef c0 = lc == lf ? node(care).low : care;
-    const NodeRef c1 = lc == lf ? node(care).high : care;
+    const Var v = deref(f).var;
+    const NodeRef flow = low_of(f);
+    const NodeRef fhigh = high_of(f);
+    const NodeRef c0 = lc == lf ? low_of(care) : care;
+    const NodeRef c1 = lc == lf ? high_of(care) : care;
     if (c0 == kFalse) {
       r = restrict_rec(fhigh, c1);
     } else if (c1 == kFalse) {
@@ -475,6 +449,7 @@ bool Manager::disjoint_rec(NodeRef f, NodeRef g,
   if (f == kFalse || g == kFalse) return true;
   if (f == kTrue || g == kTrue) return false;  // both non-false
   if (f == g) return false;
+  if (f == bdd_not(g)) return true;  // f & !f == 0
   if (f > g) std::swap(f, g);
 
   const std::uint64_t key = (static_cast<std::uint64_t>(f) << 32) | g;
@@ -484,10 +459,10 @@ bool Manager::disjoint_rec(NodeRef f, NodeRef g,
   const std::size_t lf = level(f);
   const std::size_t lg = level(g);
   const std::size_t top = std::min(lf, lg);
-  const NodeRef f0 = lf == top ? node(f).low : f;
-  const NodeRef f1 = lf == top ? node(f).high : f;
-  const NodeRef g0 = lg == top ? node(g).low : g;
-  const NodeRef g1 = lg == top ? node(g).high : g;
+  const NodeRef f0 = lf == top ? low_of(f) : f;
+  const NodeRef f1 = lf == top ? high_of(f) : f;
+  const NodeRef g0 = lg == top ? low_of(g) : g;
+  const NodeRef g1 = lg == top ? high_of(g) : g;
 
   const bool result = disjoint_rec(f0, g0, memo) && disjoint_rec(f1, g1, memo);
   memo.emplace(key, result);

@@ -12,11 +12,17 @@
 //
 //     (x, f, g)  ==>  (y, mk(x, f0, g0), mk(x, f1, g1))
 //
-// where f0/f1 (g0/g1) are the y-cofactors of f (g). In-place rewriting
-// preserves node identity, so parents and external handles stay valid.
-// x-nodes without y-children and y-nodes referenced from above levels are
-// untouched. Reference counts (parents + external handles) are exact in
-// this package, so the live node count used to score positions is exact.
+// where f0/f1 (g0/g1) are the y-cofactors of f (g), complement flags
+// included. In-place rewriting preserves node identity, so parents and
+// external handles stay valid -- including their complement flags, because
+// the rewritten node keeps denoting exactly the same function. The
+// then-edge of the rewritten node stays regular by construction: its high
+// child is either a stored then-edge (regular by the canonical form) or
+// the node's own then-edge, so mk never has to pull a complement out; an
+// assert documents the invariant. x-nodes without y-children and y-nodes
+// referenced from above levels are untouched. Reference counts (parents +
+// external handles) are exact in this package, so the live node count
+// used to score positions is exact.
 //
 // Moving a block past a neighbouring block of size m costs size * m
 // adjacent swaps (each variable of one block crosses each variable of the
@@ -33,8 +39,9 @@ namespace stgcheck::bdd {
 
 namespace {
 
-/// Returns the children of `ref` split against variable `v`:
-/// (low, high) if ref is a v-node, (ref, ref) otherwise.
+/// Children of an edge split against the variable below: (low, high) with
+/// the edge's complement flag applied if it is a node of that variable,
+/// (edge, edge) otherwise.
 struct Split {
   NodeRef low;
   NodeRef high;
@@ -253,49 +260,48 @@ std::size_t Manager::swap_levels(std::size_t upper_level) {
   var2level_[x] = upper_level + 1;
   var2level_[y] = upper_level;
 
-  std::vector<NodeRef> xs = std::move(nodes_at_var_[x]);
+  std::vector<std::uint32_t> xs = std::move(nodes_at_var_[x]);
   nodes_at_var_[x].clear();
 
-  for (const NodeRef r : xs) {
-    if (node(r).var != x) continue;  // stale: freed or already moved to y
+  for (const std::uint32_t idx : xs) {
+    if (node_at(idx).var != x) continue;  // stale: freed or already moved to y
 
-    if (node(r).refs == 0) {
+    if (node_at(idx).refs == 0) {
       // Reclaim dead x-nodes instead of rewriting them.
-      unique_remove(r);
-      Node& n = node(r);
-      const NodeRef low = n.low;
-      const NodeRef high = n.high;
-      n.var = kInvalidVar;
-      n.next = free_list_;
-      free_list_ = r;
-      --node_count_;
-      --dead_count_;
+      unique_remove(idx);
+      const NodeRef low = node_at(idx).low;
+      const NodeRef high = node_at(idx).high;
+      free_node(idx);
       dec_ref(low);
       dec_ref(high);
       continue;
     }
 
-    const NodeRef f = node(r).low;
-    const NodeRef g = node(r).high;
-    const bool f_is_y = !is_term(f) && node(f).var == y;
-    const bool g_is_y = !is_term(g) && node(g).var == y;
+    const NodeRef f = node_at(idx).low;   // attributed edge
+    const NodeRef g = node_at(idx).high;  // regular by the canonical form
+    const bool f_is_y = !is_term(f) && deref(f).var == y;
+    const bool g_is_y = !is_term(g) && deref(g).var == y;
     if (!f_is_y && !g_is_y) {
-      nodes_at_var_[x].push_back(r);  // keeps var x at the new lower level
+      nodes_at_var_[x].push_back(idx);  // keeps var x at the new lower level
       continue;
     }
 
-    const Split fs = f_is_y ? Split{node(f).low, node(f).high} : Split{f, f};
-    const Split gs = g_is_y ? Split{node(g).low, node(g).high} : Split{g, g};
+    const Split fs = f_is_y ? Split{low_of(f), high_of(f)} : Split{f, f};
+    const Split gs = g_is_y ? Split{low_of(g), high_of(g)} : Split{g, g};
 
-    unique_remove(r);
-    // Keep r invisible to grow_buckets() while it is out of the table; mk
-    // below may grow the node vector and rehash every table node.
-    node(r).var = kInvalidVar;
+    unique_remove(idx);
+    // Keep the node invisible to grow_buckets() while it is out of the
+    // table; mk below may grow the node vector and rehash every table node.
+    node_at(idx).var = kInvalidVar;
     const NodeRef n0 = mk(x, fs.low, gs.low);
     const NodeRef n1 = mk(x, fs.high, gs.high);
+    // gs.high is a stored then-edge (or g itself), hence regular, so the
+    // new then-edge cannot come out complemented and the rewritten node
+    // keeps denoting the same function under its parents' existing flags.
+    assert(!edge_complemented(n1) && "swap broke the regular-then invariant");
     assert(n0 != n1 && "swap produced a redundant node");
     // Note: mk may have reallocated the node vector; re-acquire.
-    Node& n = node(r);
+    Node& n = node_at(idx);
     n.var = y;
     n.low = n0;
     n.high = n1;
@@ -303,17 +309,17 @@ std::size_t Manager::swap_levels(std::size_t upper_level) {
     inc_ref(n1);
     dec_ref(f);
     dec_ref(g);
-    unique_insert(r);
-    nodes_at_var_[y].push_back(r);
+    unique_insert(idx);
+    nodes_at_var_[y].push_back(idx);
   }
   return live_nodes();
 }
 
 void Manager::gather_var_nodes() {
   nodes_at_var_.assign(var2level_.size(), {});
-  for (NodeRef r = 2; r < nodes_.size(); ++r) {
-    const Node& n = node(r);
-    if (n.var != kInvalidVar) nodes_at_var_[n.var].push_back(r);
+  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+    const Node& n = node_at(idx);
+    if (n.var != kInvalidVar) nodes_at_var_[n.var].push_back(idx);
   }
 }
 

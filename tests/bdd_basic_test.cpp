@@ -194,11 +194,14 @@ TEST(BddBasic, NodeCountOfSharedGraph) {
   Manager m;
   Bdd a = m.new_var("a");
   Bdd b = m.new_var("b");
-  Bdd f = a ^ b;           // 3 nodes: a-node and two b-nodes
-  EXPECT_EQ(m.count_nodes(f), 3u);
+  // With complement edges XOR needs 2 nodes: one a-node whose branches
+  // reach the single b-node with opposite polarities.
+  Bdd f = a ^ b;
+  EXPECT_EQ(m.count_nodes(f), 2u);
+  EXPECT_EQ(m.count_nodes(f), m.count_nodes(!f));  // shared graph
   EXPECT_EQ(m.count_nodes(m.bdd_true()), 0u);
   // Multi-root count shares: {f, a} adds only the single a node.
-  EXPECT_EQ(m.count_nodes({f, a}), 4u);
+  EXPECT_EQ(m.count_nodes({f, a}), 3u);
 }
 
 TEST(BddBasic, EvalWalksTheGraph) {
