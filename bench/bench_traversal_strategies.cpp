@@ -1,6 +1,9 @@
 // Fig. 5 ablation: the paper's chaining traversal against a classic
 // frontier BFS, a full-fixpoint recomputation, and the two relational
-// ImageEngine backends -- each with dynamic reordering off and on.
+// ImageEngine backends -- each with dynamic reordering off and on, and
+// each relational backend additionally with conjunct scheduling
+// (support-overlap cluster order + n-ary and_exists_multi products; the
+// scheduled monolithic arm never materializes its relation).
 //
 // Chaining lets transitions later in the pass fire from states discovered
 // earlier in the same pass, cutting the number of outer passes (and hence
@@ -12,14 +15,25 @@
 //
 // The sift toggle measures the reordering lever the paper never had:
 // variable groups keep each primed twin pair together, so even the
-// relational backends can reorder mid-traversal. The between-pass GC and
+// relational backends can reorder mid-traversal. The sift arms run
+// *converged* sifting (repeat passes until one buys < 1%): a single pass
+// settling in a poor local minimum is exactly the mread8 chaining+sift
+// regression the complement-edge rewrite exposed, and convergence is the
+// candidate fix -- the "reorders" column counts completed passes, so a
+// converged arm shows > 1 where it mattered. The between-pass GC and
 // watermark run on the same schedule in both arms (core::AutoSiftPolicy),
 // so comparing a "+sift" row against its baseline isolates what the
-// reordering itself buys -- the "reorders" column says whether a sift
-// actually fired. Expect wins where the traversal's working set dominates
-// (chaining on mread8) and losses where sifting optimizes the persistent
-// BDDs at the expense of the relational image intermediates (mread8
-// monolithic): dynamic reordering is a lever, not a free lunch.
+// reordering itself buys. Expect wins where the traversal's working set
+// dominates and losses where sifting optimizes the persistent BDDs at the
+// expense of the relational image intermediates (mread8 monolithic):
+// dynamic reordering is a lever, not a free lunch.
+//
+// Every row reports peak_intermediate_nodes: the worst transient live-node
+// overhead of a single image/preimage step (peak inside the step minus
+// live entering it), sampled by the engines' step gauges. This is the
+// number conjunct scheduling attacks -- the select24 monolithic arm's
+// multi-million-node and_exists intermediates live here, not in any
+// stored BDD.
 //
 // Every row also reports the kernel-health counters that complement-edge
 // and cache work move: the computed-cache hit rate and the unique-table
@@ -55,12 +69,15 @@ struct Row {
   std::string family;
   std::string arm;
   bool sift = false;
+  std::string schedule = "none";  // conjunct schedule of the engine
   std::size_t passes = 0;
   std::size_t images = 0;
   std::size_t peak_reached = 0;   // BDD size of Reached (Table 1 "peak")
   std::size_t peak_live = 0;      // manager-wide live-node high water
+  std::size_t peak_intermediate = 0;  // worst single-step transient overhead
   std::size_t relation_nodes = 0; // 0 for the cofactor arms
   std::size_t units = 0;
+  std::size_t scheduled_conjuncts = 0;  // factor positions (0 unscheduled)
   std::size_t reorders = 0;       // completed sift passes
   double cache_hit_rate = 0;      // computed-cache hits / lookups
   double unique_load = 0;         // unique-table nodes per bucket
@@ -72,19 +89,26 @@ std::vector<Row> g_rows;
 
 void record(const Row& row) {
   std::printf(
-      "  %-22s passes=%4zu images=%6zu peak=%8zu live-peak=%8zu rel=%6zu "
-      "units=%4zu reorders=%2zu hit=%.3f load=%.2f time=%7.3fs states=%.3e\n",
+      "  %-22s passes=%4zu images=%6zu peak=%8zu live-peak=%8zu inter=%8zu "
+      "rel=%6zu units=%4zu conj=%3zu reorders=%2zu hit=%.3f load=%.2f "
+      "time=%7.3fs states=%.3e\n",
       row.arm.c_str(), row.passes, row.images, row.peak_reached, row.peak_live,
-      row.relation_nodes, row.units, row.reorders, row.cache_hit_rate,
+      row.peak_intermediate, row.relation_nodes, row.units,
+      row.scheduled_conjuncts, row.reorders, row.cache_hit_rate,
       row.unique_load, row.seconds, row.states);
   std::fflush(stdout);
   g_rows.push_back(row);
 }
 
-core::TraversalOptions arm_options(core::TraversalStrategy strategy, bool sift) {
+core::TraversalOptions arm_options(core::TraversalStrategy strategy, bool sift,
+                                   core::ScheduleKind schedule) {
   core::TraversalOptions options;
   options.strategy = strategy;
   options.auto_sift = sift;
+  // The sift arms run converged sifting: the candidate fix for a single
+  // pass settling in a poor local minimum (mread8 chaining+sift).
+  options.sift_converged = sift;
+  options.engine_options.schedule = schedule;
   return options;
 }
 
@@ -93,30 +117,41 @@ void run_cofactor_arm(const stg::Stg& s, const std::string& name,
   Stopwatch watch;
   core::SymbolicStg sym(s);
   core::CofactorEngine engine(sym);
-  core::TraversalResult r = core::traverse(engine, arm_options(strategy, sift));
+  core::TraversalResult r = core::traverse(
+      engine, arm_options(strategy, sift, core::ScheduleKind::kNone));
   const bdd::ManagerStats ms = sym.manager().stats();
-  record(Row{s.name(), name, sift, r.stats.passes, r.stats.image_computations,
-             r.stats.peak_reached_nodes, sym.manager().peak_live_nodes(),
+  record(Row{s.name(), name, sift, "none", r.stats.passes,
+             r.stats.image_computations, r.stats.peak_reached_nodes,
+             sym.manager().peak_live_nodes(),
+             engine.stats().peak_intermediate_nodes,
              engine.stats().relation_nodes, engine.stats().units,
-             sym.manager().reorder_epoch(), ms.cache_hit_rate(),
-             ms.unique_load_factor(), watch.seconds(), r.stats.states});
+             engine.stats().scheduled_conjuncts, sym.manager().reorder_epoch(),
+             ms.cache_hit_rate(), ms.unique_load_factor(), watch.seconds(),
+             r.stats.states});
 }
 
 void run_relation_arm(const stg::Stg& s, const std::string& name,
                       core::EngineKind kind, core::TraversalStrategy strategy,
-                      bool sift) {
+                      bool sift,
+                      core::ScheduleKind schedule = core::ScheduleKind::kNone) {
   Stopwatch watch;
   core::SymbolicStg sym(s, core::Ordering::kInterleaved, 1 << 14,
                         /*with_primed_vars=*/true);
+  core::EngineOptions engine_options;
+  engine_options.schedule = schedule;
   const std::unique_ptr<core::ImageEngine> engine =
-      core::make_engine(kind, sym);
-  core::TraversalResult r = core::traverse(*engine, arm_options(strategy, sift));
+      core::make_engine(kind, sym, engine_options);
+  core::TraversalResult r =
+      core::traverse(*engine, arm_options(strategy, sift, schedule));
   const bdd::ManagerStats ms = sym.manager().stats();
-  record(Row{s.name(), name, sift, r.stats.passes, r.stats.image_computations,
-             r.stats.peak_reached_nodes, sym.manager().peak_live_nodes(),
+  record(Row{s.name(), name, sift, core::to_string(schedule), r.stats.passes,
+             r.stats.image_computations, r.stats.peak_reached_nodes,
+             sym.manager().peak_live_nodes(),
+             engine->stats().peak_intermediate_nodes,
              engine->stats().relation_nodes, engine->stats().units,
-             sym.manager().reorder_epoch(), ms.cache_hit_rate(),
-             ms.unique_load_factor(), watch.seconds(), r.stats.states});
+             engine->stats().scheduled_conjuncts, sym.manager().reorder_epoch(),
+             ms.cache_hit_rate(), ms.unique_load_factor(), watch.seconds(),
+             r.stats.states});
 }
 
 void run(const stg::Stg& s, bool sift_off, bool sift_on) {
@@ -138,6 +173,15 @@ void run(const stg::Stg& s, bool sift_off, bool sift_on) {
     run_relation_arm(s, std::string("partitioned rel.") + suffix,
                      core::EngineKind::kPartitionedRelation,
                      core::TraversalStrategy::kChaining, sift);
+    // The scheduled arms: same strategies, conjunct-scheduled products.
+    run_relation_arm(s, std::string("monolithic sched.") + suffix,
+                     core::EngineKind::kMonolithicRelation,
+                     core::TraversalStrategy::kFrontierBfs, sift,
+                     core::ScheduleKind::kSupportOverlap);
+    run_relation_arm(s, std::string("partitioned sched.") + suffix,
+                     core::EngineKind::kPartitionedRelation,
+                     core::TraversalStrategy::kChaining, sift,
+                     core::ScheduleKind::kSupportOverlap);
   }
 }
 
@@ -152,15 +196,18 @@ void write_json(const char* path) {
     const Row& r = g_rows[i];
     std::fprintf(f,
                  "  {\"family\": \"%s\", \"arm\": \"%s\", \"sift\": %s, "
-                 "\"passes\": %zu, "
+                 "\"schedule\": \"%s\", \"passes\": %zu, "
                  "\"images\": %zu, \"peak_reached_nodes\": %zu, "
-                 "\"peak_live_nodes\": %zu, \"relation_nodes\": %zu, "
-                 "\"units\": %zu, \"reorders\": %zu, "
+                 "\"peak_live_nodes\": %zu, \"peak_intermediate_nodes\": %zu, "
+                 "\"relation_nodes\": %zu, "
+                 "\"units\": %zu, \"scheduled_conjuncts\": %zu, "
+                 "\"reorders\": %zu, "
                  "\"cache_hit_rate\": %.4f, \"unique_table_load\": %.4f, "
                  "\"seconds\": %.6f, \"states\": %.6e}%s\n",
                  r.family.c_str(), r.arm.c_str(), r.sift ? "true" : "false",
-                 r.passes, r.images, r.peak_reached, r.peak_live,
-                 r.relation_nodes, r.units, r.reorders, r.cache_hit_rate,
+                 r.schedule.c_str(), r.passes, r.images, r.peak_reached,
+                 r.peak_live, r.peak_intermediate, r.relation_nodes, r.units,
+                 r.scheduled_conjuncts, r.reorders, r.cache_hit_rate,
                  r.unique_load, r.seconds, r.states,
                  i + 1 < g_rows.size() ? "," : "");
   }

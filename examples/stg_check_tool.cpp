@@ -7,6 +7,9 @@
 //     --strategy  S     chaining | bfs | fixpoint
 //     --engine    E     cofactor | monolithic | partitioned
 //                       (image backend; see docs/architecture.md)
+//     --schedule  C     none | support-overlap | bounded-lookahead
+//                       (conjunct scheduling for the relational engines:
+//                       cluster firing order + n-ary relational products)
 //     --equations       also derive and print the complex-gate netlist
 //     --explain         print firing-trace witnesses for CSC/persistency
 //                       violations (uses the explicit engine)
@@ -37,6 +40,7 @@ void usage() {
       "                    signals-first | random\n"
       "  --strategy  S     chaining | bfs | fixpoint\n"
       "  --engine    E     cofactor | monolithic | partitioned\n"
+      "  --schedule  C     none | support-overlap | bounded-lookahead\n"
       "  --equations       derive and print the complex-gate netlist\n"
       "  --explain         print firing-trace witnesses for violations\n"
       "  --dot             print the STG as Graphviz dot\n"
@@ -112,6 +116,18 @@ int main(int argc, char** argv) {
         options.engine = core::EngineKind::kPartitionedRelation;
       } else {
         std::fprintf(stderr, "unknown engine %s\n", e.c_str());
+        return 1;
+      }
+    } else if (arg == "--schedule") {
+      const std::string c = next_arg();
+      if (c == "none") {
+        options.engine_options.schedule = core::ScheduleKind::kNone;
+      } else if (c == "support-overlap") {
+        options.engine_options.schedule = core::ScheduleKind::kSupportOverlap;
+      } else if (c == "bounded-lookahead") {
+        options.engine_options.schedule = core::ScheduleKind::kBoundedLookahead;
+      } else {
+        std::fprintf(stderr, "unknown schedule %s\n", c.c_str());
         return 1;
       }
     } else if (arg == "--equations") {

@@ -9,6 +9,11 @@ Compares every (family, arm, sift) row present in both files:
   * states must match exactly -- a drifting state count is a correctness
     bug, not a perf regression, and fails regardless of thresholds;
   * peak_live_nodes may grow by at most --peak-threshold (default 25%);
+  * peak_intermediate_nodes (the worst transient live-node overhead of a
+    single image step, where and_exists intermediates live) may grow by at
+    most --peak-threshold too -- the node counts are deterministic, so the
+    gate is machine-independent; rows missing the field on either side
+    (older baselines) are skipped;
   * seconds may grow by at most --time-threshold (default 25%), but only
     for rows whose baseline is at least --min-seconds (default 0.5s):
     shorter rows are timer noise on shared CI runners.
@@ -85,6 +90,15 @@ def main():
             failures.append(
                 f"{fmt(key)}: peak_live_nodes {b_peak} -> {c_peak} "
                 f"(+{peak_ratio - 1.0:.1%})")
+
+        if "peak_intermediate_nodes" in base and "peak_intermediate_nodes" in cur:
+            b_inter = base["peak_intermediate_nodes"]
+            c_inter = cur["peak_intermediate_nodes"]
+            inter_ratio = c_inter / b_inter if b_inter else 1.0
+            if inter_ratio > 1.0 + args.peak_threshold:
+                failures.append(
+                    f"{fmt(key)}: peak_intermediate_nodes {b_inter} -> "
+                    f"{c_inter} (+{inter_ratio - 1.0:.1%})")
 
         b_sec, c_sec = base["seconds"], cur["seconds"]
         if b_sec >= args.min_seconds:

@@ -238,6 +238,18 @@ class Manager {
   /// exists(f & g, cube) computed without building f & g (relational
   /// product).
   Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
+  /// exists(f1 & f2 & ... & fk, cube) computed without building any pairwise
+  /// conjunction: the n-ary relational product. All operands are cofactored
+  /// on their shared top level in one recursion, and a cube variable is
+  /// quantified at exactly the level where it surfaces -- the moment the
+  /// last operand still mentioning it is being consumed -- so the
+  /// accumulate-then-quantify intermediates of a binary and_exists fold
+  /// never exist. Keeps the binary kernel's low == true early termination.
+  /// Results are cached in a dedicated multi-operand cache keyed on the
+  /// sorted operand list (Op::kAndExistsMulti); lists of length <= 2
+  /// delegate to the binary AND-EXISTS cache. An empty conjunct list
+  /// denotes true. All operands must belong to this manager.
+  Bdd and_exists_multi(const std::vector<Bdd>& conjuncts, const Bdd& cube);
   /// Coudert-Madre restrict: simplifies f using `care` as a care set; the
   /// result agrees with f on `care`.
   Bdd restrict(const Bdd& f, const Bdd& care);
@@ -289,6 +301,12 @@ class Manager {
   /// `max_growth` times the best size seen while moving. Returns live node
   /// count after reordering.
   std::size_t sift(double max_growth = 1.2);
+  /// Repeats sift() passes until a pass improves the live node count by
+  /// less than 1% (capped at 8 passes as a safety valve). A single sift
+  /// pass settles in the first local minimum it finds; repeating lets
+  /// blocks react to their neighbours' new positions. Returns the live
+  /// node count after the last pass.
+  std::size_t sift_converged(double max_growth = 1.2);
   /// Reorders to exactly the given order (a permutation of all variables,
   /// listed top to bottom). Every registered group must stay contiguous
   /// and keep its internal order in the target; violations throw
@@ -322,6 +340,14 @@ class Manager {
   ManagerStats stats() const;
   std::size_t live_nodes() const { return node_count_ - dead_count_; }
   std::size_t peak_live_nodes() const { return peak_live_; }
+  /// Resets the step-local live-node watermark to the current live count.
+  /// Unlike peak_live_nodes() -- a monotone manager-lifetime high-water
+  /// mark -- the window watermark can be rearmed around a single operation
+  /// (an image step, one relational product) to measure its transient
+  /// intermediates in isolation.
+  void reset_peak_window() { window_peak_live_ = node_count_ - dead_count_; }
+  /// High-water mark of live nodes since the last reset_peak_window().
+  std::size_t window_peak_live() const { return window_peak_live_; }
 
   // ---- Diagnostics -------------------------------------------------------
 
@@ -353,7 +379,8 @@ class Manager {
   };
 
   enum class Op : std::uint8_t {
-    kAnd, kXor, kIte, kExists, kAndExists, kCofactor, kRestrict
+    kAnd, kXor, kIte, kExists, kAndExists, kCofactor, kRestrict,
+    kAndExistsMulti
   };
 
   struct CacheEntry {
@@ -361,6 +388,17 @@ class Manager {
     NodeRef g = kInvalidRef;
     NodeRef h = kInvalidRef;
     Op op = Op::kAnd;
+    NodeRef result = kInvalidRef;
+  };
+
+  /// One slot of the n-ary relational product cache. The fixed-width
+  /// CacheEntry cannot hold an operand list, so kAndExistsMulti results
+  /// live in their own direct-mapped table: the slot is picked by hashing
+  /// the sorted operand list (plus the cube), and the stored key is the
+  /// full list so a hash collision misses instead of returning a wrong
+  /// result. The key's last element is the cube.
+  struct MultiCacheEntry {
+    std::vector<NodeRef> key;
     NodeRef result = kInvalidRef;
   };
 
@@ -406,6 +444,12 @@ class Manager {
   void cache_store(Op op, NodeRef f, NodeRef g, NodeRef h, NodeRef result);
   void clear_cache();
 
+  // Multi-operand cache (Op::kAndExistsMulti).
+  std::size_t multi_hash(const std::vector<NodeRef>& ops, NodeRef cube) const;
+  NodeRef multi_cache_lookup(const std::vector<NodeRef>& ops, NodeRef cube) const;
+  void multi_cache_store(const std::vector<NodeRef>& ops, NodeRef cube,
+                         NodeRef result);
+
   // Recursive cores (raw NodeRef level; no GC may run while these are on
   // the stack). OR, NOT and FORALL are not recursions of their own: they
   // are De Morgan duals of AND and EXISTS, sharing their caches.
@@ -418,6 +462,7 @@ class Manager {
   NodeRef cofactor_rec(NodeRef f, NodeRef cube);
   NodeRef exists_rec(NodeRef f, NodeRef cube);
   NodeRef and_exists_rec(NodeRef f, NodeRef g, NodeRef cube);
+  NodeRef and_exists_multi_rec(std::vector<NodeRef> ops, NodeRef cube);
   NodeRef restrict_rec(NodeRef f, NodeRef care);
   NodeRef permute_rec(NodeRef f, const std::vector<Var>& perm,
                       std::unordered_map<NodeRef, NodeRef>& memo);
@@ -453,6 +498,7 @@ class Manager {
   std::size_t node_count_ = 0;  // nodes in table (live + dead)
   std::size_t dead_count_ = 0;
   std::size_t peak_live_ = 0;
+  std::size_t window_peak_live_ = 0;  // rearmed by reset_peak_window()
   std::size_t gc_runs_ = 0;
 
   std::vector<std::uint32_t> buckets_;  // head node index per bucket
@@ -463,6 +509,10 @@ class Manager {
   std::size_t cache_mask_ = 0;
   mutable std::size_t cache_hits_ = 0;
   mutable std::size_t cache_lookups_ = 0;
+
+  // Allocated lazily on the first n-ary product; cleared with cache_.
+  std::vector<MultiCacheEntry> multi_cache_;
+  std::size_t multi_cache_mask_ = 0;
 
   std::vector<std::size_t> var2level_;
   std::vector<Var> level2var_;

@@ -199,6 +199,7 @@ void Manager::inc_ref(NodeRef e) {
   if (n.refs == 1) {
     const std::size_t live = node_count_ - dead_count_;
     peak_live_ = std::max(peak_live_, live);
+    window_peak_live_ = std::max(window_peak_live_, live);
   }
 }
 
@@ -346,6 +347,61 @@ void Manager::cache_store(Op op, NodeRef f, NodeRef g, NodeRef h, NodeRef result
 
 void Manager::clear_cache() {
   std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  for (MultiCacheEntry& e : multi_cache_) {
+    e.key.clear();
+    e.result = kInvalidRef;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-operand cache (n-ary relational product)
+// ---------------------------------------------------------------------------
+
+std::size_t Manager::multi_hash(const std::vector<NodeRef>& ops,
+                                NodeRef cube) const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^
+                    (static_cast<std::uint64_t>(Op::kAndExistsMulti) << 56);
+  for (const NodeRef f : ops) {
+    h ^= (static_cast<std::uint64_t>(f) + 0x517cc1b727220a95ULL) *
+         0xff51afd7ed558ccdULL;
+    h = (h << 13) | (h >> 51);
+  }
+  h ^= (static_cast<std::uint64_t>(cube) + 0x2545f4914f6cdd1dULL) *
+       0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h);
+}
+
+NodeRef Manager::multi_cache_lookup(const std::vector<NodeRef>& ops,
+                                    NodeRef cube) const {
+  ++cache_lookups_;
+  if (multi_cache_.empty()) return kInvalidRef;
+  const MultiCacheEntry& e =
+      multi_cache_[multi_hash(ops, cube) & multi_cache_mask_];
+  // The stored key is exact (operands plus trailing cube): a slot collision
+  // misses rather than returning a wrong product.
+  if (e.result == kInvalidRef || e.key.size() != ops.size() + 1) {
+    return kInvalidRef;
+  }
+  if (e.key.back() != cube ||
+      !std::equal(ops.begin(), ops.end(), e.key.begin())) {
+    return kInvalidRef;
+  }
+  ++cache_hits_;
+  return e.result;
+}
+
+void Manager::multi_cache_store(const std::vector<NodeRef>& ops, NodeRef cube,
+                                NodeRef result) {
+  if (multi_cache_.empty()) {
+    constexpr std::size_t kMultiCacheSize = 1u << 15;
+    multi_cache_.resize(kMultiCacheSize);
+    multi_cache_mask_ = kMultiCacheSize - 1;
+  }
+  MultiCacheEntry& e = multi_cache_[multi_hash(ops, cube) & multi_cache_mask_];
+  e.key.assign(ops.begin(), ops.end());
+  e.key.push_back(cube);
+  e.result = result;
 }
 
 // ---------------------------------------------------------------------------

@@ -192,6 +192,22 @@ std::size_t Manager::move_block_down(const std::vector<Var>& block) {
   return live_nodes();
 }
 
+std::size_t Manager::sift_converged(double max_growth) {
+  // A single sift pass settles each block against a frozen snapshot of the
+  // others; repeating lets blocks react to their neighbours' new homes.
+  // Stop as soon as a pass buys less than 1% (integer arithmetic: an
+  // improvement of before/100 nodes or fewer does not count), with a hard
+  // pass cap so a slowly oscillating table cannot spin forever.
+  std::size_t before = live_nodes();
+  std::size_t after = before;
+  for (int pass = 0; pass < 8; ++pass) {
+    after = sift(max_growth);
+    if (after + before / 100 >= before) break;
+    before = after;
+  }
+  return after;
+}
+
 // ---------------------------------------------------------------------------
 // Explicit reorder
 // ---------------------------------------------------------------------------

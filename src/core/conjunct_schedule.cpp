@@ -1,0 +1,239 @@
+#include "core/conjunct_schedule.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace stgcheck::core {
+
+using bdd::Var;
+
+const char* to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kNone: return "none";
+    case ScheduleKind::kSupportOverlap: return "support_overlap";
+    case ScheduleKind::kBoundedLookahead: return "bounded_lookahead";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::vector<Var>> normalized(
+    const std::vector<std::vector<Var>>& supports) {
+  std::vector<std::vector<Var>> sets = supports;
+  for (std::vector<Var>& s : sets) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return sets;
+}
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+/// Greedy max-overlap: repeatedly append the unplaced conjunct sharing the
+/// most variables with those already placed; ties prefer the conjunct
+/// introducing the fewest new variables, then the lowest index (so the
+/// first pick is the smallest support).
+std::vector<std::size_t> overlap_order(
+    const std::vector<std::vector<Var>>& sets) {
+  const std::size_t n = sets.size();
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  std::unordered_set<Var> seen;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t best_overlap = 0;
+    std::size_t best_new = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (placed[c]) continue;
+      std::size_t overlap = 0;
+      for (Var v : sets[c]) overlap += seen.count(v);
+      const std::size_t fresh = sets[c].size() - overlap;
+      if (best == n || overlap > best_overlap ||
+          (overlap == best_overlap && fresh < best_new)) {
+        best = c;
+        best_overlap = overlap;
+        best_new = fresh;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+    seen.insert(sets[best].begin(), sets[best].end());
+  }
+  return order;
+}
+
+/// Greedy last-use closure with one-step lookahead: score a candidate by
+/// the number of variables whose last remaining use it is (they could be
+/// quantified immediately after it) plus the best such closure available
+/// right after placing it; ties fall back to the overlap rule.
+std::vector<std::size_t> lookahead_order(
+    const std::vector<std::vector<Var>>& sets) {
+  const std::size_t n = sets.size();
+  std::unordered_map<Var, std::size_t> occurrences;
+  for (const std::vector<Var>& s : sets) {
+    for (Var v : s) ++occurrences[v];
+  }
+  const auto closes = [&](std::size_t c) {
+    std::size_t closed = 0;
+    for (Var v : sets[c]) closed += occurrences.at(v) == 1;
+    return closed;
+  };
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  std::unordered_set<Var> seen;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t best_score = 0;
+    std::size_t best_overlap = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (placed[c]) continue;
+      const std::size_t now = closes(c);
+      for (Var v : sets[c]) --occurrences.at(v);
+      std::size_t ahead = 0;
+      for (std::size_t d = 0; d < n; ++d) {
+        if (placed[d] || d == c) continue;
+        ahead = std::max(ahead, closes(d));
+      }
+      for (Var v : sets[c]) ++occurrences.at(v);
+      const std::size_t score = 2 * now + ahead;
+      std::size_t overlap = 0;
+      for (Var v : sets[c]) overlap += seen.count(v);
+      if (best == n || score > best_score ||
+          (score == best_score && overlap > best_overlap)) {
+        best = c;
+        best_score = score;
+        best_overlap = overlap;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+    seen.insert(sets[best].begin(), sets[best].end());
+    for (Var v : sets[best]) --occurrences.at(v);
+  }
+  return order;
+}
+
+std::vector<std::size_t> order_for(const std::vector<std::vector<Var>>& sets,
+                                   ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kNone: return identity_order(sets.size());
+    case ScheduleKind::kSupportOverlap: return overlap_order(sets);
+    case ScheduleKind::kBoundedLookahead: return lookahead_order(sets);
+  }
+  return identity_order(sets.size());
+}
+
+}  // namespace
+
+ConjunctSchedule ConjunctSchedule::conjunctive(
+    const std::vector<std::vector<Var>>& supports,
+    const std::vector<Var>& quantifiable, ScheduleKind kind) {
+  const std::vector<std::vector<Var>> sets = normalized(supports);
+  const std::vector<std::size_t> order = order_for(sets, kind);
+
+  ConjunctSchedule schedule;
+  schedule.positions.resize(order.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    schedule.positions[pos].conjunct = order[pos];
+  }
+  // Each quantifiable variable goes to the last position whose support
+  // contains it; variables in no support are dropped (nothing constrains
+  // them, so quantifying them is the identity).
+  const std::unordered_set<Var> wanted(quantifiable.begin(),
+                                       quantifiable.end());
+  std::unordered_map<Var, std::size_t> last_use;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    for (Var v : sets[order[pos]]) {
+      if (wanted.count(v)) last_use[v] = pos;
+    }
+  }
+  for (const auto& [v, pos] : last_use) {
+    schedule.positions[pos].quantify.push_back(v);
+  }
+  for (Position& p : schedule.positions) {
+    std::sort(p.quantify.begin(), p.quantify.end());
+  }
+  return schedule;
+}
+
+ConjunctSchedule ConjunctSchedule::disjunctive(
+    const std::vector<std::vector<Var>>& supports, ScheduleKind kind) {
+  const std::vector<std::vector<Var>> sets = normalized(supports);
+  const std::vector<std::size_t> order = order_for(sets, kind);
+  ConjunctSchedule schedule;
+  schedule.positions.resize(order.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    schedule.positions[pos].conjunct = order[pos];
+    schedule.positions[pos].quantify = sets[order[pos]];
+  }
+  return schedule;
+}
+
+void ConjunctSchedule::validate_conjunctive(
+    const std::vector<std::vector<Var>>& supports,
+    const std::vector<Var>& quantifiable) const {
+  const auto fail = [](const std::string& what) {
+    throw ModelError("conjunct schedule invalid: " + what);
+  };
+  const std::vector<std::vector<Var>> sets = normalized(supports);
+
+  std::vector<bool> placed(sets.size(), false);
+  for (const Position& p : positions) {
+    if (p.conjunct >= sets.size()) fail("position names an unknown conjunct");
+    if (placed[p.conjunct]) {
+      fail("conjunct " + std::to_string(p.conjunct) + " scheduled twice");
+    }
+    placed[p.conjunct] = true;
+  }
+  if (positions.size() != sets.size()) fail("not every conjunct is scheduled");
+
+  // The reference plan: every quantifiable variable occurring in some
+  // support, at the last position whose support contains it.
+  const std::unordered_set<Var> wanted(quantifiable.begin(),
+                                       quantifiable.end());
+  std::unordered_map<Var, std::size_t> expected_at;
+  for (std::size_t pos = 0; pos < positions.size(); ++pos) {
+    for (Var v : sets[positions[pos].conjunct]) {
+      if (wanted.count(v)) expected_at[v] = pos;
+    }
+  }
+  std::unordered_set<Var> scheduled;
+  for (std::size_t pos = 0; pos < positions.size(); ++pos) {
+    for (Var v : positions[pos].quantify) {
+      if (!scheduled.insert(v).second) {
+        fail("variable v" + std::to_string(v) + " quantified more than once");
+      }
+      const auto it = expected_at.find(v);
+      if (it == expected_at.end()) {
+        fail("variable v" + std::to_string(v) +
+             " is quantified but is not a quantifiable variable of any "
+             "conjunct's support");
+      }
+      if (it->second != pos) {
+        fail("variable v" + std::to_string(v) + " quantified at position " +
+             std::to_string(pos) + ", but its last use is position " +
+             std::to_string(it->second));
+      }
+    }
+  }
+  for (const auto& [v, pos] : expected_at) {
+    if (!scheduled.count(v)) {
+      fail("variable v" + std::to_string(v) + " is never quantified (last "
+           "use is position " + std::to_string(pos) + ")");
+    }
+  }
+}
+
+}  // namespace stgcheck::core

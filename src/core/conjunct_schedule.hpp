@@ -1,0 +1,92 @@
+// Conjunction scheduling for relational products: the reusable layer the
+// relation-based image engines build their quantification plans from.
+//
+// Given a list of conjuncts with known supports, a schedule is an order
+// over the conjuncts plus, per position, a set of variables to quantify
+// there. Two soundness regimes share the machinery:
+//
+//   * conjunctive (the early-quantification classic): the product
+//     exists(Q). f_1 & ... & f_k evaluated as a sequential fold
+//
+//         acc := S;  acc := exists(quantify[i]) . (acc & conjunct[order[i]])
+//
+//     is equivalent to quantifying everything at the end exactly when each
+//     variable is quantified at the LAST position whose support contains
+//     it -- quantify earlier and a later conjunct still constrains the
+//     variable; quantify later and the accumulate-then-quantify
+//     intermediates the schedule exists to kill come back. The n-ary
+//     kernel (bdd::Manager::and_exists_multi) realizes the same plan in
+//     one cache-aware recursion, consuming a variable the moment its last
+//     operand is consumed; validate_conjunctive() checks the invariant.
+//
+//   * disjunctive (a partitioned transition relation): each position is an
+//     independent image term, so it quantifies exactly its own support --
+//     the generalization of PartitionedRelationEngine's old inline
+//     quantification_schedule(). Here the order changes no BDD, but a
+//     support-overlap order keeps consecutive products on warm computed-
+//     cache entries and, under chaining, feeds fresh states to the
+//     clusters most likely to fire from them.
+//
+// Ordering heuristics (ScheduleKind): kNone keeps the given order,
+// kSupportOverlap greedily appends the conjunct sharing the most variables
+// with those already placed (ties: fewest new variables, then lowest
+// index), kBoundedLookahead greedily maximizes the number of variables
+// whose last use would close now plus the best such gain one step ahead.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace stgcheck::core {
+
+/// How a relation-based engine orders its conjunct/partition list.
+/// TraversalOptions/CheckOptions carry one in EngineOptions; stg_check
+/// exposes it as --schedule.
+enum class ScheduleKind {
+  kNone,             ///< keep the construction order, quantify per support
+  kSupportOverlap,   ///< greedy max-overlap order
+  kBoundedLookahead, ///< greedy last-use closure with one-step lookahead
+};
+
+const char* to_string(ScheduleKind kind);
+
+struct ConjunctSchedule {
+  struct Position {
+    /// Index into the original conjunct list.
+    std::size_t conjunct = 0;
+    /// Variables quantified at this position, sorted by id. Conjunctive
+    /// schedules put each variable at its last use; disjunctive schedules
+    /// repeat the position's own support.
+    std::vector<bdd::Var> quantify;
+  };
+
+  std::vector<Position> positions;
+
+  std::size_t size() const { return positions.size(); }
+
+  /// Builds the conjunctive (last-use) schedule: conjuncts ordered by
+  /// `kind`, and every variable of `quantifiable` that occurs in at least
+  /// one support assigned to the last position whose support contains it.
+  /// Quantifiable variables in no support are dropped -- nothing in the
+  /// product constrains them, so quantifying them is the identity.
+  static ConjunctSchedule conjunctive(
+      const std::vector<std::vector<bdd::Var>>& supports,
+      const std::vector<bdd::Var>& quantifiable, ScheduleKind kind);
+
+  /// Builds the disjunctive schedule: conjuncts ordered by `kind`, each
+  /// position quantifying exactly its own support.
+  static ConjunctSchedule disjunctive(
+      const std::vector<std::vector<bdd::Var>>& supports, ScheduleKind kind);
+
+  /// Throws ModelError unless this schedule is a valid conjunctive
+  /// schedule for the given supports: the positions are a permutation of
+  /// all conjuncts, and every variable of `quantifiable` occurring in some
+  /// support is quantified exactly once, at the last position whose
+  /// support contains it (and no other variable is quantified anywhere).
+  void validate_conjunctive(const std::vector<std::vector<bdd::Var>>& supports,
+                            const std::vector<bdd::Var>& quantifiable) const;
+};
+
+}  // namespace stgcheck::core

@@ -62,6 +62,34 @@ Bdd signal_flip_forward(const SymbolicStg& sym, const Bdd& set,
   return m.cofactor(set, sig) & !sig;
 }
 
+/// The scheduled relational products both relational engines share: the
+/// image conjoins {states} with the factor list through the n-ary kernel,
+/// quantifies the support and renames the primed twins back; the preimage
+/// renames into the primed frame first and quantifies the twins.
+Bdd multi_product_image(SymbolicStg& sym, const Bdd& states,
+                        const std::vector<Bdd>& factors,
+                        const Bdd& quant_cube) {
+  bdd::Manager& m = sym.manager();
+  std::vector<Bdd> ops;
+  ops.reserve(factors.size() + 1);
+  ops.push_back(states);
+  ops.insert(ops.end(), factors.begin(), factors.end());
+  const Bdd next_primed = m.and_exists_multi(ops, quant_cube);
+  return m.permute(next_primed, sym.from_primed());
+}
+
+Bdd multi_product_preimage(SymbolicStg& sym, const Bdd& states,
+                           const std::vector<Bdd>& factors,
+                           const std::vector<Var>& rename_to_primed,
+                           const Bdd& primed_quant_cube) {
+  bdd::Manager& m = sym.manager();
+  std::vector<Bdd> ops;
+  ops.reserve(factors.size() + 1);
+  ops.push_back(m.permute(states, rename_to_primed));
+  ops.insert(ops.end(), factors.begin(), factors.end());
+  return m.and_exists_multi(ops, primed_quant_cube);
+}
+
 }  // namespace
 
 Bdd cofactor_image(const SymbolicStg& sym, const Bdd& states,
@@ -118,7 +146,27 @@ void ImageEngine::sync_with_order() {
   }
 }
 
+ImageEngine::StepGauge::StepGauge(ImageEngine& engine) : engine_(engine) {
+  outermost_ = engine_.gauge_depth_++ == 0;
+  if (outermost_) {
+    bdd::Manager& m = engine_.sym_.manager();
+    live_before_ = m.live_nodes();
+    m.reset_peak_window();
+  }
+}
+
+ImageEngine::StepGauge::~StepGauge() {
+  --engine_.gauge_depth_;
+  if (!outermost_) return;
+  const std::size_t peak = engine_.sym_.manager().window_peak_live();
+  if (peak > live_before_) {
+    engine_.stats_.peak_intermediate_nodes =
+        std::max(engine_.stats_.peak_intermediate_nodes, peak - live_before_);
+  }
+}
+
 Bdd ImageEngine::image(const Bdd& states) {
+  StepGauge gauge(*this);
   Bdd result = sym_.manager().bdd_false();
   for (std::size_t u = 0; u < unit_count(); ++u) {
     result |= image_unit(states, u);
@@ -127,6 +175,7 @@ Bdd ImageEngine::image(const Bdd& states) {
 }
 
 Bdd ImageEngine::preimage(const Bdd& states) {
+  StepGauge gauge(*this);
   Bdd result = sym_.manager().bdd_false();
   const pn::PetriNet& net = sym_.stg().net();
   for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
@@ -163,11 +212,13 @@ CofactorEngine::CofactorEngine(SymbolicStg& sym) : ImageEngine(sym) {
 
 Bdd CofactorEngine::image_via(const Bdd& states, pn::TransitionId t) {
   ++stats_.image_calls;
+  StepGauge gauge(*this);
   return cofactor_image(sym_, states, t);
 }
 
 Bdd CofactorEngine::preimage_via(const Bdd& states, pn::TransitionId t) {
   ++stats_.preimage_calls;
+  StepGauge gauge(*this);
   return cofactor_preimage(sym_, states, t);
 }
 
@@ -179,24 +230,73 @@ Bdd CofactorEngine::image_unit(const Bdd& states, std::size_t u) {
 // MonolithicRelationEngine
 // ---------------------------------------------------------------------------
 
-MonolithicRelationEngine::MonolithicRelationEngine(SymbolicStg& sym)
-    : ImageEngine(sym) {
+MonolithicRelationEngine::MonolithicRelationEngine(SymbolicStg& sym,
+                                                   const EngineOptions& options)
+    : ImageEngine(sym), schedule_kind_(options.schedule) {
   const pn::PetriNet& net = sym.stg().net();
-  relations_.reserve(net.transition_count());
-  monolithic_ = sym.manager().bdd_false();
   for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
-    relations_.push_back(build_full_relation(sym, t));
-    monolithic_ |= relations_.back();
     all_transitions_.push_back(t);
   }
   stats_.units = 1;
-  stats_.relation_nodes = sym.manager().count_nodes(monolithic_);
+  if (schedule_kind_ == ScheduleKind::kNone) {
+    relations_.reserve(net.transition_count());
+    monolithic_ = sym.manager().bdd_false();
+    for (pn::TransitionId t : all_transitions_) {
+      relations_.push_back(build_full_relation(sym, t));
+      monolithic_ |= relations_.back();
+    }
+    stats_.relation_nodes = sym.manager().count_nodes(monolithic_);
+    return;
+  }
+  // Scheduled: neither the full relations nor the monolithic OR are ever
+  // built. Sparse relations are clustered by support, the clusters ordered
+  // by the schedule, and each step products them through the n-ary kernel.
+  sparse_.reserve(net.transition_count());
+  for (pn::TransitionId t : all_transitions_) {
+    sparse_.push_back(build_sparse_relation(sym, t));
+  }
+  sparse_apply_.resize(net.transition_count());
+  clusters_ = cluster_relations(sym, sparse_, options.cluster_node_cap);
+  std::vector<std::vector<Var>> supports;
+  supports.reserve(clusters_.size());
+  std::vector<Bdd> rels;
+  rels.reserve(clusters_.size());
+  for (const RelationCluster& c : clusters_) {
+    supports.push_back(c.support);
+    rels.push_back(c.rel);
+    stats_.scheduled_conjuncts += c.factors.size();
+  }
+  schedule_ = ConjunctSchedule::disjunctive(supports, schedule_kind_);
+  stats_.relation_nodes = sym.manager().count_nodes(rels);
+}
+
+const Bdd& MonolithicRelationEngine::relation(pn::TransitionId t) const {
+  if (schedule_kind_ != ScheduleKind::kNone) {
+    throw ModelError("the scheduled monolithic engine never materializes "
+                     "full per-transition relations");
+  }
+  return relations_[t];
+}
+
+const Bdd& MonolithicRelationEngine::monolithic() const {
+  if (schedule_kind_ != ScheduleKind::kNone) {
+    throw ModelError("the scheduled monolithic engine never materializes "
+                     "the monolithic relation");
+  }
+  return monolithic_;
 }
 
 void MonolithicRelationEngine::on_reorder() {
   // The relation handles survive a reorder (sifting rewrites nodes in
   // place), but their node counts -- reported by the benches -- do not.
-  stats_.relation_nodes = sym_.manager().count_nodes(monolithic_);
+  if (schedule_kind_ == ScheduleKind::kNone) {
+    stats_.relation_nodes = sym_.manager().count_nodes(monolithic_);
+    return;
+  }
+  std::vector<Bdd> rels;
+  rels.reserve(clusters_.size());
+  for (const RelationCluster& c : clusters_) rels.push_back(c.rel);
+  stats_.relation_nodes = sym_.manager().count_nodes(rels);
 }
 
 Bdd MonolithicRelationEngine::apply(const Bdd& states, const Bdd& relation) {
@@ -205,21 +305,62 @@ Bdd MonolithicRelationEngine::apply(const Bdd& states, const Bdd& relation) {
   return m.permute(next_primed, sym_.from_primed());
 }
 
+Bdd MonolithicRelationEngine::scheduled_image(const Bdd& states) {
+  // One monolithic step, but the product runs cluster by cluster in
+  // schedule order: each position quantifies exactly its own support
+  // through the n-ary kernel, so the big accumulate-then-quantify
+  // intermediate of and_exists(S, T, V) never exists. Variables outside a
+  // cluster's support flow through `states` untouched -- the frame the
+  // full relations encoded explicitly, for free.
+  Bdd result = sym_.manager().bdd_false();
+  for (const ConjunctSchedule::Position& pos : schedule_.positions) {
+    const RelationCluster& c = clusters_[pos.conjunct];
+    result |= multi_product_image(sym_, states, c.factors, c.quant_cube);
+  }
+  return result;
+}
+
+Bdd MonolithicRelationEngine::scheduled_preimage(const Bdd& states) {
+  Bdd result = sym_.manager().bdd_false();
+  for (const ConjunctSchedule::Position& pos : schedule_.positions) {
+    const RelationCluster& c = clusters_[pos.conjunct];
+    result |= multi_product_preimage(sym_, states, c.factors,
+                                     c.rename_to_primed, c.primed_quant_cube);
+  }
+  return result;
+}
+
+const SparseApplyData& MonolithicRelationEngine::sparse_apply(
+    pn::TransitionId t) {
+  SparseApplyData& a = sparse_apply_[t];
+  if (!a.built) a = build_sparse_apply(sym_, sparse_[t].support);
+  return a;
+}
+
 Bdd MonolithicRelationEngine::image(const Bdd& states) {
   sync_with_order();
   ++stats_.image_calls;
+  StepGauge gauge(*this);
+  if (schedule_kind_ != ScheduleKind::kNone) return scheduled_image(states);
   return apply(states, monolithic_);
 }
 
 Bdd MonolithicRelationEngine::image_via(const Bdd& states, pn::TransitionId t) {
   sync_with_order();
   ++stats_.image_calls;
+  StepGauge gauge(*this);
+  if (schedule_kind_ != ScheduleKind::kNone) {
+    return multi_product_image(sym_, states, sparse_[t].factors,
+                               sparse_apply(t).quant_cube);
+  }
   return apply(states, relations_[t]);
 }
 
 Bdd MonolithicRelationEngine::preimage(const Bdd& states) {
   sync_with_order();
   ++stats_.preimage_calls;
+  StepGauge gauge(*this);
+  if (schedule_kind_ != ScheduleKind::kNone) return scheduled_preimage(states);
   bdd::Manager& m = sym_.manager();
   const Bdd primed_states = m.permute(states, sym_.to_primed());
   return m.and_exists(primed_states, monolithic_, sym_.primed_cube());
@@ -229,6 +370,12 @@ Bdd MonolithicRelationEngine::preimage_via(const Bdd& states,
                                            pn::TransitionId t) {
   sync_with_order();
   ++stats_.preimage_calls;
+  StepGauge gauge(*this);
+  if (schedule_kind_ != ScheduleKind::kNone) {
+    const SparseApplyData& a = sparse_apply(t);
+    return multi_product_preimage(sym_, states, sparse_[t].factors,
+                                  a.rename_to_primed, a.primed_quant_cube);
+  }
   bdd::Manager& m = sym_.manager();
   const Bdd primed_states = m.permute(states, sym_.to_primed());
   return m.and_exists(primed_states, relations_[t], sym_.primed_cube());
@@ -244,157 +391,103 @@ Bdd MonolithicRelationEngine::image_unit(const Bdd& states, std::size_t) {
 
 PartitionedRelationEngine::PartitionedRelationEngine(SymbolicStg& sym,
                                                      const EngineOptions& options)
-    : ImageEngine(sym), cap_(options.cluster_node_cap) {
+    : ImageEngine(sym),
+      cap_(options.cluster_node_cap),
+      schedule_kind_(options.schedule) {
   const pn::PetriNet& net = sym.stg().net();
   sparse_.reserve(net.transition_count());
   for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
     sparse_.push_back(build_sparse_relation(sym, t));
   }
   sparse_apply_.resize(net.transition_count());
-  build_clusters();
-  stats_.units = clusters_.size();
+  clusters_ = cluster_relations(sym, sparse_, cap_);
+  std::vector<std::vector<Var>> supports;
+  supports.reserve(clusters_.size());
   std::vector<Bdd> rels;
   rels.reserve(clusters_.size());
-  for (const Cluster& c : clusters_) rels.push_back(c.rel);
+  for (const RelationCluster& c : clusters_) {
+    supports.push_back(c.support);
+    rels.push_back(c.rel);
+    if (schedule_kind_ != ScheduleKind::kNone) {
+      stats_.scheduled_conjuncts += c.factors.size();
+    }
+  }
+  schedule_ = ConjunctSchedule::disjunctive(supports, schedule_kind_);
+  stats_.units = clusters_.size();
   stats_.relation_nodes = sym.manager().count_nodes(rels);
 }
 
-void PartitionedRelationEngine::build_clusters() {
-  bdd::Manager& m = sym_.manager();
-  for (const TransitionRelation& r : sparse_) {
-    // Candidate clusters ranked by shared support (descending); merging
-    // into a disjoint-support cluster would only add frame padding.
-    std::vector<std::pair<std::size_t, std::size_t>> candidates;  // (shared, idx)
-    for (std::size_t c = 0; c < clusters_.size(); ++c) {
-      std::vector<Var> shared;
-      std::set_intersection(clusters_[c].support.begin(),
-                            clusters_[c].support.end(), r.support.begin(),
-                            r.support.end(), std::back_inserter(shared));
-      if (!shared.empty()) candidates.push_back({shared.size(), c});
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const auto& a, const auto& b) { return a.first > b.first; });
-
-    bool merged = false;
-    for (const auto& [shared, idx] : candidates) {
-      (void)shared;
-      Cluster& c = clusters_[idx];
-      std::vector<Var> new_support;
-      std::set_union(c.support.begin(), c.support.end(), r.support.begin(),
-                     r.support.end(), std::back_inserter(new_support));
-      // Pad each side with the frame of the variables only the other
-      // side touches, so the disjunction keeps them unchanged.
-      std::vector<Var> pad_cluster;
-      std::set_difference(new_support.begin(), new_support.end(),
-                          c.support.begin(), c.support.end(),
-                          std::back_inserter(pad_cluster));
-      std::vector<Var> pad_member;
-      std::set_difference(new_support.begin(), new_support.end(),
-                          r.support.begin(), r.support.end(),
-                          std::back_inserter(pad_member));
-      const Bdd candidate_rel = (c.rel & frame_constraint(sym_, pad_cluster)) |
-                                (r.rel & frame_constraint(sym_, pad_member));
-      if (m.count_nodes(candidate_rel) > cap_) continue;
-      c.rel = candidate_rel;
-      c.support = std::move(new_support);
-      c.transitions.push_back(r.t);
-      merged = true;
-      break;
-    }
-    if (!merged) {
-      Cluster c;
-      c.transitions.push_back(r.t);
-      c.rel = r.rel;
-      c.support = r.support;
-      clusters_.push_back(std::move(c));
-    }
-  }
-  for (Cluster& c : clusters_) finalize_cluster(c);
-}
-
-void PartitionedRelationEngine::finalize_cluster(Cluster& c) {
-  bdd::Manager& m = sym_.manager();
-  c.quant_cube = m.positive_cube(c.support);
-  const std::vector<Var>& to_primed = sym_.to_primed();
-  std::vector<Var> primed;
-  primed.reserve(c.support.size());
-  c.rename_to_primed.resize(m.var_count());
-  for (Var v = 0; v < c.rename_to_primed.size(); ++v) c.rename_to_primed[v] = v;
-  for (Var v : c.support) {
-    primed.push_back(to_primed[v]);
-    c.rename_to_primed[v] = to_primed[v];
-  }
-  c.primed_quant_cube = m.positive_cube(primed);
-}
-
-Bdd PartitionedRelationEngine::apply_sparse(const Bdd& states, const Bdd& rel,
-                                            const Bdd& quant_cube) {
-  // Early quantification: only the variables the relation constrains are
+Bdd PartitionedRelationEngine::apply_cluster(const Bdd& states,
+                                             const RelationCluster& c) {
+  // Early quantification: only the variables the cluster constrains are
   // quantified; everything else flows through `states` untouched, which is
-  // the frame condition for free.
+  // the frame condition for free. Scheduled runs hand the factor list to
+  // the n-ary kernel; unscheduled runs keep the classic binary product.
+  if (schedule_kind_ != ScheduleKind::kNone) {
+    return multi_product_image(sym_, states, c.factors, c.quant_cube);
+  }
   bdd::Manager& m = sym_.manager();
-  const Bdd next_primed = m.and_exists(states, rel, quant_cube);
+  const Bdd next_primed = m.and_exists(states, c.rel, c.quant_cube);
   return m.permute(next_primed, sym_.from_primed());
 }
 
 void PartitionedRelationEngine::on_reorder() {
   std::vector<Bdd> rels;
   rels.reserve(clusters_.size());
-  for (const Cluster& c : clusters_) rels.push_back(c.rel);
+  for (const RelationCluster& c : clusters_) rels.push_back(c.rel);
   stats_.relation_nodes = sym_.manager().count_nodes(rels);
 }
 
 Bdd PartitionedRelationEngine::image_unit(const Bdd& states, std::size_t u) {
   sync_with_order();
   ++stats_.image_calls;
-  const Cluster& c = clusters_[u];
-  return apply_sparse(states, c.rel, c.quant_cube);
+  StepGauge gauge(*this);
+  return apply_cluster(states, clusters_[unit_cluster(u)]);
 }
 
-const PartitionedRelationEngine::SparseApply& PartitionedRelationEngine::sparse_apply(
+const SparseApplyData& PartitionedRelationEngine::sparse_apply(
     pn::TransitionId t) {
-  SparseApply& a = sparse_apply_[t];
-  if (!a.built) {
-    bdd::Manager& m = sym_.manager();
-    const std::vector<Var>& to_primed = sym_.to_primed();
-    a.quant_cube = m.positive_cube(sparse_[t].support);
-    a.rename_to_primed.resize(m.var_count());
-    for (Var v = 0; v < a.rename_to_primed.size(); ++v) a.rename_to_primed[v] = v;
-    std::vector<Var> primed;
-    for (Var v : sparse_[t].support) {
-      a.rename_to_primed[v] = to_primed[v];
-      primed.push_back(to_primed[v]);
-    }
-    a.primed_quant_cube = m.positive_cube(primed);
-    a.built = true;
-  }
+  SparseApplyData& a = sparse_apply_[t];
+  if (!a.built) a = build_sparse_apply(sym_, sparse_[t].support);
   return a;
 }
 
 Bdd PartitionedRelationEngine::image_via(const Bdd& states, pn::TransitionId t) {
   sync_with_order();
   ++stats_.image_calls;
-  return apply_sparse(states, sparse_[t].rel, sparse_apply(t).quant_cube);
+  StepGauge gauge(*this);
+  bdd::Manager& m = sym_.manager();
+  const Bdd next_primed =
+      m.and_exists(states, sparse_[t].rel, sparse_apply(t).quant_cube);
+  return m.permute(next_primed, sym_.from_primed());
 }
 
 Bdd PartitionedRelationEngine::preimage_via(const Bdd& states,
                                             pn::TransitionId t) {
   sync_with_order();
   ++stats_.preimage_calls;
+  StepGauge gauge(*this);
   bdd::Manager& m = sym_.manager();
-  const SparseApply& a = sparse_apply(t);
+  const SparseApplyData& a = sparse_apply(t);
   const Bdd primed_states = m.permute(states, a.rename_to_primed);
   return m.and_exists(primed_states, sparse_[t].rel, a.primed_quant_cube);
 }
 
 Bdd PartitionedRelationEngine::preimage(const Bdd& states) {
   sync_with_order();
+  StepGauge gauge(*this);
   Bdd result = sym_.manager().bdd_false();
   bdd::Manager& m = sym_.manager();
-  for (const Cluster& c : clusters_) {
+  for (const ConjunctSchedule::Position& pos : schedule_.positions) {
+    const RelationCluster& c = clusters_[pos.conjunct];
     ++stats_.preimage_calls;
-    const Bdd primed_states = m.permute(states, c.rename_to_primed);
-    result |= m.and_exists(primed_states, c.rel, c.primed_quant_cube);
+    if (schedule_kind_ != ScheduleKind::kNone) {
+      result |= multi_product_preimage(sym_, states, c.factors,
+                                       c.rename_to_primed, c.primed_quant_cube);
+    } else {
+      const Bdd primed_states = m.permute(states, c.rename_to_primed);
+      result |= m.and_exists(primed_states, c.rel, c.primed_quant_cube);
+    }
   }
   return result;
 }
@@ -405,9 +498,13 @@ std::size_t PartitionedRelationEngine::cluster_nodes(std::size_t c) const {
 
 std::vector<std::vector<Var>> PartitionedRelationEngine::quantification_schedule()
     const {
-  std::vector<std::vector<Var>> schedule;
-  schedule.reserve(clusters_.size());
-  for (const Cluster& c : clusters_) schedule.push_back(c.support);
+  // Cluster-index order, independent of the firing order: for a
+  // disjunctive partition each position quantifies exactly its own
+  // support, which is what the ConjunctSchedule's positions record.
+  std::vector<std::vector<Var>> schedule(clusters_.size());
+  for (const ConjunctSchedule::Position& pos : schedule_.positions) {
+    schedule[pos.conjunct] = pos.quantify;
+  }
   return schedule;
 }
 
@@ -421,7 +518,7 @@ std::unique_ptr<ImageEngine> make_engine(EngineKind kind, SymbolicStg& sym,
     case EngineKind::kCofactor:
       return std::make_unique<CofactorEngine>(sym);
     case EngineKind::kMonolithicRelation:
-      return std::make_unique<MonolithicRelationEngine>(sym);
+      return std::make_unique<MonolithicRelationEngine>(sym, options);
     case EngineKind::kPartitionedRelation:
       return std::make_unique<PartitionedRelationEngine>(sym, options);
   }

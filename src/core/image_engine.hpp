@@ -13,17 +13,26 @@
 //                                four cube operations per transition, no
 //                                relation ever built.
 //   * MonolithicRelationEngine -- the textbook baseline: one relation
-//                                T(V, V') = OR_t T_t, applied by a single
-//                                relational product per step.
+//                                T(V, V') = OR_t T_t. Without a schedule
+//                                it is applied by a single relational
+//                                product per step; with a schedule
+//                                (EngineOptions::schedule != kNone) the
+//                                monolithic BDD is never materialized --
+//                                each step runs the support-ordered
+//                                cluster list through the n-ary
+//                                and_exists_multi kernel, so the
+//                                accumulate-then-quantify intermediates of
+//                                the single big product never exist.
 //   * PartitionedRelationEngine -- the fair modern baseline: sparse
 //                                per-transition relations clustered by
 //                                shared support up to a node cap, each
 //                                cluster applied with an early
 //                                quantification cube covering exactly its
-//                                own support. Under the chaining strategy
-//                                the clusters fire disjunctively in
-//                                sequence, each from the set enriched by
-//                                its predecessors.
+//                                own support (a ConjunctSchedule; see
+//                                core/conjunct_schedule.hpp). Under the
+//                                chaining strategy the clusters fire
+//                                disjunctively in sequence, each from the
+//                                set enriched by its predecessors.
 //
 // Traversal granularity is expressed as "units": the indivisible firing
 // steps a backend offers. The cofactor backend has one unit per
@@ -36,6 +45,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/conjunct_schedule.hpp"
 #include "core/encoding.hpp"
 #include "core/relation.hpp"
 
@@ -51,11 +61,20 @@ enum class EngineKind {
 const char* to_string(EngineKind kind);
 
 struct EngineOptions {
-  /// Partitioned backend: stop growing a cluster once its relation BDD
+  /// Relational backends: stop growing a cluster once its relation BDD
   /// exceeds this many nodes. A single transition whose sparse relation is
   /// already larger stays a singleton cluster (a cap cannot split one
   /// transition).
   std::size_t cluster_node_cap = 2000;
+  /// Conjunct scheduling for the relational backends
+  /// (core/conjunct_schedule.hpp). kNone keeps the classic pipelines (the
+  /// monolithic engine materializes its OR, the partitioned engine fires
+  /// clusters in construction order with binary products); any other kind
+  /// orders the cluster list by support overlap and drives every
+  /// relational product through the n-ary and_exists_multi kernel, and the
+  /// monolithic engine stops materializing its relation entirely. The
+  /// cofactor backend ignores this (it has no relations to schedule).
+  ScheduleKind schedule = ScheduleKind::kNone;
 };
 
 struct ImageEngineStats {
@@ -63,6 +82,16 @@ struct ImageEngineStats {
   std::size_t preimage_calls = 0;
   std::size_t relation_nodes = 0;  ///< BDD size of the backend's relations (0 for cofactor)
   std::size_t units = 0;           ///< firing units the backend exposes
+  /// Worst transient overhead of a single image/preimage step: the live-
+  /// node high-water mark inside the step minus the live count entering
+  /// it, maximized over all steps. This is where and_exists intermediates
+  /// show up (the reached set and the relations are part of the entering
+  /// count, so they do not pollute it).
+  std::size_t peak_intermediate_nodes = 0;
+  /// Total conjunct positions across the backend's schedules (the factor
+  /// lists its scheduled image steps hand to the n-ary kernel); 0 when
+  /// running unscheduled.
+  std::size_t scheduled_conjuncts = 0;
 };
 
 /// Abstract image substrate over one SymbolicStg encoding.
@@ -115,10 +144,28 @@ class ImageEngine {
   /// Backend hook invoked by sync_with_order() after a reorder.
   virtual void on_reorder() {}
 
+  /// RAII gauge around one image/preimage step: rearms the manager's
+  /// step-local live-node watermark on entry and folds (peak - live at
+  /// entry) into stats_.peak_intermediate_nodes on exit. Nested gauges
+  /// (image() looping image_unit()) measure once, at the outermost level.
+  class StepGauge {
+   public:
+    explicit StepGauge(ImageEngine& engine);
+    ~StepGauge();
+    StepGauge(const StepGauge&) = delete;
+    StepGauge& operator=(const StepGauge&) = delete;
+
+   private:
+    ImageEngine& engine_;
+    bool outermost_;
+    std::size_t live_before_ = 0;
+  };
+
   SymbolicStg& sym_;
   ImageEngineStats stats_;
 
  private:
+  std::size_t gauge_depth_ = 0;
   /// Lazily built per transition: OR of strict-postset place literals.
   std::vector<bdd::Bdd> marked_successor_;
   std::vector<bool> marked_successor_built_;
@@ -163,11 +210,18 @@ class CofactorEngine final : public ImageEngine {
 };
 
 /// The textbook baseline: full-frame per-transition relations ORed into
-/// one monolithic relation; a single relational product per step.
-/// Requires an encoding with primed variables.
+/// one monolithic relation; a single relational product per step. With a
+/// schedule (EngineOptions::schedule != kNone) neither the full relations
+/// nor the monolithic OR are ever materialized: the engine keeps sparse
+/// relations clustered by support, orders the clusters with a
+/// ConjunctSchedule, and each step runs every cluster's factor list
+/// through the n-ary and_exists_multi kernel -- still one unit per step,
+/// so traversal strategies see unchanged monolithic semantics. Requires an
+/// encoding with primed variables.
 class MonolithicRelationEngine final : public ImageEngine {
  public:
-  explicit MonolithicRelationEngine(SymbolicStg& sym);
+  explicit MonolithicRelationEngine(SymbolicStg& sym,
+                                    const EngineOptions& options = {});
 
   const char* name() const override { return "monolithic"; }
   EngineKind kind() const override { return EngineKind::kMonolithicRelation; }
@@ -183,26 +237,46 @@ class MonolithicRelationEngine final : public ImageEngine {
   }
   bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) override;
 
-  /// The relation of one transition.
-  const bdd::Bdd& relation(pn::TransitionId t) const { return relations_[t]; }
-  /// The monolithic relation (disjunction over all transitions).
-  const bdd::Bdd& monolithic() const { return monolithic_; }
+  ScheduleKind schedule_kind() const { return schedule_kind_; }
+  /// Clusters behind the scheduled path (0 when unscheduled).
+  std::size_t scheduled_cluster_count() const { return clusters_.size(); }
+
+  /// The full-frame relation of one transition. Only the unscheduled
+  /// engine materializes these; throws ModelError otherwise.
+  const bdd::Bdd& relation(pn::TransitionId t) const;
+  /// The monolithic relation (disjunction over all transitions). Only the
+  /// unscheduled engine materializes it; throws ModelError otherwise.
+  const bdd::Bdd& monolithic() const;
 
  protected:
   void on_reorder() override;
 
  private:
   bdd::Bdd apply(const bdd::Bdd& states, const bdd::Bdd& relation);
+  bdd::Bdd scheduled_image(const bdd::Bdd& states);
+  bdd::Bdd scheduled_preimage(const bdd::Bdd& states);
+  const SparseApplyData& sparse_apply(pn::TransitionId t);
 
+  ScheduleKind schedule_kind_;
+  std::vector<pn::TransitionId> all_transitions_;
+
+  // Unscheduled path.
   std::vector<bdd::Bdd> relations_;
   bdd::Bdd monolithic_;
-  std::vector<pn::TransitionId> all_transitions_;
+
+  // Scheduled path.
+  std::vector<TransitionRelation> sparse_;   // indexed by transition
+  std::vector<SparseApplyData> sparse_apply_;  // per transition, lazily built
+  std::vector<RelationCluster> clusters_;
+  ConjunctSchedule schedule_;  // cluster firing order + quant sets
 };
 
 /// Sparse per-transition relations clustered by shared support up to a
 /// node cap; each cluster carries an early-quantification cube covering
 /// exactly its own support, so untouched variables are never quantified
-/// at all. Requires an encoding with primed variables.
+/// at all. With a schedule the clusters fire in support-overlap order and
+/// every product goes through the n-ary kernel on the cluster's factor
+/// list. Requires an encoding with primed variables.
 class PartitionedRelationEngine final : public ImageEngine {
  public:
   PartitionedRelationEngine(SymbolicStg& sym, const EngineOptions& options = {});
@@ -214,9 +288,10 @@ class PartitionedRelationEngine final : public ImageEngine {
   bdd::Bdd image_via(const bdd::Bdd& states, pn::TransitionId t) override;
   bdd::Bdd preimage_via(const bdd::Bdd& states, pn::TransitionId t) override;
 
+  // Units follow the schedule's firing order (identity when unscheduled).
   std::size_t unit_count() const override { return clusters_.size(); }
   const std::vector<pn::TransitionId>& unit_transitions(std::size_t u) const override {
-    return clusters_[u].transitions;
+    return clusters_[unit_cluster(u)].transitions;
   }
   bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) override;
 
@@ -228,46 +303,34 @@ class PartitionedRelationEngine final : public ImageEngine {
   }
   /// BDD size of one cluster's relation.
   std::size_t cluster_nodes(std::size_t c) const;
-  /// The quantification schedule: for each cluster, the unprimed state
-  /// variables its image step quantifies (== the cluster's support,
-  /// sorted by id). Every variable a transition touches is quantified in
-  /// the cluster owning that transition and nowhere else -- the earliest
-  /// legal point for a disjunctive partition.
+  /// The quantification schedule: for each cluster (in cluster-index
+  /// order), the unprimed state variables its image step quantifies (== the
+  /// cluster's support, sorted by id). Every variable a transition touches
+  /// is quantified in the cluster owning that transition and nowhere else
+  /// -- the earliest legal point for a disjunctive partition. Derived from
+  /// the engine's ConjunctSchedule.
   std::vector<std::vector<bdd::Var>> quantification_schedule() const;
   std::size_t cluster_node_cap() const { return cap_; }
+  ScheduleKind schedule_kind() const { return schedule_kind_; }
+  /// The cluster firing order and per-position quantification sets.
+  const ConjunctSchedule& schedule() const { return schedule_; }
 
  protected:
   void on_reorder() override;
 
  private:
-  struct Cluster {
-    std::vector<pn::TransitionId> transitions;
-    bdd::Bdd rel;
-    std::vector<bdd::Var> support;  // unprimed, sorted by id
-    bdd::Bdd quant_cube;            // positive cube of `support`
-    bdd::Bdd primed_quant_cube;
-    std::vector<bdd::Var> rename_to_primed;  // support -> primed, id elsewhere
-  };
-
-  /// Lazily built per transition: the quantification cube (image side)
-  /// and the support-local rename map + primed cube (preimage side).
-  struct SparseApply {
-    bool built = false;
-    bdd::Bdd quant_cube;
-    bdd::Bdd primed_quant_cube;
-    std::vector<bdd::Var> rename_to_primed;
-  };
-
-  void build_clusters();
-  void finalize_cluster(Cluster& c);
-  bdd::Bdd apply_sparse(const bdd::Bdd& states, const bdd::Bdd& rel,
-                        const bdd::Bdd& quant_cube);
-  const SparseApply& sparse_apply(pn::TransitionId t);
+  std::size_t unit_cluster(std::size_t u) const {
+    return schedule_.positions[u].conjunct;
+  }
+  bdd::Bdd apply_cluster(const bdd::Bdd& states, const RelationCluster& c);
 
   std::size_t cap_;
-  std::vector<TransitionRelation> sparse_;  // indexed by transition
-  std::vector<SparseApply> sparse_apply_;   // per transition, lazily built
-  std::vector<Cluster> clusters_;
+  ScheduleKind schedule_kind_;
+  std::vector<TransitionRelation> sparse_;       // indexed by transition
+  std::vector<SparseApplyData> sparse_apply_;    // per transition, lazily built
+  std::vector<RelationCluster> clusters_;
+  ConjunctSchedule schedule_;  // cluster firing order + quant sets
+  const SparseApplyData& sparse_apply(pn::TransitionId t);
 };
 
 /// Builds the requested backend. The relational backends throw ModelError

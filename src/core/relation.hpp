@@ -36,13 +36,19 @@
 
 namespace stgcheck::core {
 
-/// One transition's relation plus the support bookkeeping the partitioned
-/// backend needs for clustering and early quantification.
+/// One transition's relation plus the support bookkeeping the relational
+/// backends need for clustering and early quantification.
 struct TransitionRelation {
   pn::TransitionId t = pn::kNoId;
   bdd::Bdd rel;
   /// Unprimed state variables constrained by `rel`, sorted by id.
   std::vector<bdd::Var> support;
+  /// Conjunctive factorization of `rel`: one primitive constraint per
+  /// touched place (the token move over (p, p')) plus one for the fired
+  /// signal's flip. Scheduled engines hand these to the n-ary kernel
+  /// (Manager::and_exists_multi) unconjoined, so `rel` never has to be
+  /// built up front on that path.
+  std::vector<bdd::Bdd> factors;
 };
 
 /// Full-frame relation of one transition (constrains every state variable).
@@ -56,5 +62,47 @@ TransitionRelation build_sparse_relation(SymbolicStg& sym, pn::TransitionId t);
 /// Conjunction of v <-> v' over `vars` (unprimed ids); the frame padding
 /// used when sparse relations are merged into one cluster.
 bdd::Bdd frame_constraint(SymbolicStg& sym, const std::vector<bdd::Var>& vars);
+
+/// One support-clustered group of sparse relations plus everything an
+/// image/preimage step needs: the cluster relation (disjunction of padded
+/// members), its quantification cubes and the support-local rename map.
+/// Shared by the partitioned engine and the scheduled monolithic path.
+struct RelationCluster {
+  std::vector<pn::TransitionId> transitions;
+  bdd::Bdd rel;
+  /// Unprimed state variables the cluster constrains, sorted by id.
+  std::vector<bdd::Var> support;
+  bdd::Bdd quant_cube;         ///< positive cube of `support`
+  bdd::Bdd primed_quant_cube;  ///< positive cube of the primed twins
+  /// support -> primed twin, identity elsewhere (a support-local rename).
+  std::vector<bdd::Var> rename_to_primed;
+  /// Conjunctive factorization of `rel` for the n-ary kernel: a singleton
+  /// cluster keeps its transition's primitive constraints, a merged
+  /// cluster collapses to the one factor `rel` (a disjunction of padded
+  /// members does not factor).
+  std::vector<bdd::Bdd> factors;
+};
+
+/// Greedily clusters sparse relations by shared support up to `cap` nodes
+/// per cluster relation: each relation joins the candidate cluster with
+/// the largest support overlap whose padded disjunction stays under the
+/// cap, or starts a new cluster. A single transition larger than the cap
+/// stays a singleton (a cap cannot split one transition).
+std::vector<RelationCluster> cluster_relations(
+    SymbolicStg& sym, const std::vector<TransitionRelation>& sparse,
+    std::size_t cap);
+
+/// Per-transition (or per-cluster) apply data for sparse relational
+/// products over the given support: quantification cubes for both
+/// directions and the support-local rename map.
+struct SparseApplyData {
+  bool built = false;
+  bdd::Bdd quant_cube;
+  bdd::Bdd primed_quant_cube;
+  std::vector<bdd::Var> rename_to_primed;
+};
+
+SparseApplyData build_sparse_apply(SymbolicStg& sym,
+                                   const std::vector<bdd::Var>& support);
 
 }  // namespace stgcheck::core

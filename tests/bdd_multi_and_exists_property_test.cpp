@@ -1,0 +1,118 @@
+// The n-ary relational product: and_exists_multi({f1..fk}, cube) must
+// equal the fold of binary and_exists / exists on random expressions, for
+// every operand count, cube shape and polarity mix -- and the kernel
+// invariants must hold after every call (the multi recursion allocates
+// through the same mk/unique-table path as the binary one, so a slip
+// shows up as a canonical-form violation).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace stgcheck::bdd {
+namespace {
+
+constexpr std::size_t kVars = 9;
+
+/// A random expression over the first kVars variables.
+Bdd random_expr(Manager& m, Rng& rng, int depth) {
+  if (depth == 0 || rng.below(5) == 0) {
+    const Var v = static_cast<Var>(rng.below(kVars));
+    return rng.flip() ? m.var(v) : m.nvar(v);
+  }
+  const Bdd lhs = random_expr(m, rng, depth - 1);
+  const Bdd rhs = random_expr(m, rng, depth - 1);
+  switch (rng.below(3)) {
+    case 0: return lhs & rhs;
+    case 1: return lhs | rhs;
+    default: return lhs ^ rhs;
+  }
+}
+
+/// A random positive cube over a random variable subset (possibly empty).
+Bdd random_cube(Manager& m, Rng& rng) {
+  std::vector<Var> vars;
+  for (Var v = 0; v < kVars; ++v) {
+    if (rng.flip()) vars.push_back(v);
+  }
+  return m.positive_cube(vars);
+}
+
+class MultiAndExists : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Manager m;
+  Rng rng{GetParam()};
+
+  void SetUp() override {
+    for (std::size_t v = 0; v < kVars; ++v) m.new_var("v" + std::to_string(v));
+  }
+};
+
+TEST_P(MultiAndExists, EqualsBinaryFoldOnRandomExpressions) {
+  for (int round = 0; round < 24; ++round) {
+    const std::size_t k = 1 + rng.below(6);
+    std::vector<Bdd> conjuncts;
+    for (std::size_t i = 0; i < k; ++i) {
+      conjuncts.push_back(random_expr(m, rng, 3));
+    }
+    const Bdd cube = random_cube(m, rng);
+
+    const Bdd multi = m.and_exists_multi(conjuncts, cube);
+    m.check_invariants();
+
+    // Oracle 1: conjoin everything, quantify at the end.
+    Bdd conj = m.bdd_true();
+    for (const Bdd& f : conjuncts) conj &= f;
+    EXPECT_EQ(multi, m.exists(conj, cube)) << "round " << round;
+
+    // Oracle 2: the fold of binary and_exists -- conjoin all but the last
+    // operand, then one binary relational product.
+    Bdd prefix = m.bdd_true();
+    for (std::size_t i = 0; i + 1 < k; ++i) prefix &= conjuncts[i];
+    EXPECT_EQ(multi, m.and_exists(prefix, conjuncts.back(), cube))
+        << "round " << round;
+    m.check_invariants();
+  }
+}
+
+TEST_P(MultiAndExists, DegenerateOperandLists) {
+  const Bdd f = random_expr(m, rng, 3);
+  const Bdd g = random_expr(m, rng, 3);
+  const Bdd cube = random_cube(m, rng);
+
+  // Empty list: the empty conjunction is true, and exists of true is true.
+  EXPECT_EQ(m.and_exists_multi({}, cube), m.bdd_true());
+  // Singleton delegates to plain quantification.
+  EXPECT_EQ(m.and_exists_multi({f}, cube), m.exists(f, cube));
+  // Pairs share the binary kernel.
+  EXPECT_EQ(m.and_exists_multi({f, g}, cube), m.and_exists(f, g, cube));
+  // Duplicates collapse; a complementary pair annihilates; false absorbs.
+  EXPECT_EQ(m.and_exists_multi({f, f, g}, cube), m.and_exists(f, g, cube));
+  EXPECT_EQ(m.and_exists_multi({f, !f, g}, cube), m.bdd_false());
+  EXPECT_EQ(m.and_exists_multi({f, m.bdd_false(), g}, cube), m.bdd_false());
+  // True units vanish.
+  EXPECT_EQ(m.and_exists_multi({f, m.bdd_true(), g}, cube),
+            m.and_exists(f, g, cube));
+  // A true cube means no quantification: the plain conjunction.
+  EXPECT_EQ(m.and_exists_multi({f, g, f ^ g}, m.bdd_true()),
+            f & g & (f ^ g));
+  m.check_invariants();
+}
+
+TEST_P(MultiAndExists, MixedManagerOperandThrows) {
+  Manager other;
+  other.new_var("w");
+  const Bdd foreign = other.var(0);
+  EXPECT_THROW(m.and_exists_multi({m.var(0), foreign}, m.bdd_true()),
+               ModelError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiAndExists,
+                         ::testing::Values(0xA11CEu, 0xB0Bu, 0xC0FFEEu,
+                                           0xD15EA5Eu));
+
+}  // namespace
+}  // namespace stgcheck::bdd

@@ -10,6 +10,7 @@
 #include "core/checks.hpp"
 #include "core/image_engine.hpp"
 #include "core/traversal.hpp"
+#include "example_nets.hpp"
 #include "sg/explicit_checks.hpp"
 #include "sg/state_graph.hpp"
 #include "stg/generators.hpp"
@@ -17,31 +18,9 @@
 namespace stgcheck::core {
 namespace {
 
-stg::Stg net_by_index(int index) {
-  switch (index) {
-    case 0: return stg::muller_pipeline(2);
-    case 1: return stg::muller_pipeline(5);
-    case 2: return stg::master_read(2);
-    case 3: return stg::master_read(4);
-    case 4: return stg::mutex_arbiter(2);
-    case 5: return stg::mutex_arbiter(4);
-    case 6: return stg::select_chain(2);
-    case 7: return stg::select_chain(4);
-    case 8: return stg::examples::fig3_d1();
-    case 9: return stg::examples::fig3_d2();
-    case 10: return stg::examples::fake_asymmetric(false);
-    case 11: return stg::examples::fake_asymmetric(true);
-    case 12: return stg::examples::pulse_cycle();
-    case 13: return stg::examples::output_cycle();
-    case 14: return stg::examples::output_cycle_resolved();
-    case 15: return stg::examples::input_pulse_counter();
-    case 16: return stg::examples::vme_read();
-    case 17: return stg::examples::noncommutative_diamond();
-    default: return stg::examples::nondeterministic_choice();
-  }
-}
+stg::Stg net_by_index(int index) { return testutil::example_net(index); }
 
-constexpr int kNetCount = 19;
+constexpr int kNetCount = testutil::kExampleNetCount;
 
 class CrossValidation : public ::testing::TestWithParam<int> {
  protected:
