@@ -5,11 +5,13 @@
 //     --ordering  O     interleaved | clustered | declaration |
 //                       signals-first | random
 //     --strategy  S     chaining | bfs | fixpoint
-//     --engine    E     cofactor | monolithic | partitioned
+//     --engine    E     cofactor | monolithic | partitioned | saturation
 //                       (image backend; see docs/architecture.md)
 //     --schedule  C     none | support-overlap | bounded-lookahead
 //                       (conjunct scheduling for the relational engines:
-//                       cluster firing order + n-ary relational products)
+//                       cluster firing order + n-ary relational products;
+//                       bounded-lookahead self-tunes the monolithic engine
+//                       back to none when its relation is cheap to build)
 //     --equations       also derive and print the complex-gate netlist
 //     --explain         print firing-trace witnesses for CSC/persistency
 //                       violations (uses the explicit engine)
@@ -20,6 +22,7 @@
 // 1 on usage or parse errors.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,7 +42,7 @@ void usage() {
       "  --ordering  O     interleaved | clustered | declaration |\n"
       "                    signals-first | random\n"
       "  --strategy  S     chaining | bfs | fixpoint\n"
-      "  --engine    E     cofactor | monolithic | partitioned\n"
+      "  --engine    E     cofactor | monolithic | partitioned | saturation\n"
       "  --schedule  C     none | support-overlap | bounded-lookahead\n"
       "  --equations       derive and print the complex-gate netlist\n"
       "  --explain         print firing-trace witnesses for violations\n"
@@ -108,28 +111,23 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--engine") {
       const std::string e = next_arg();
-      if (e == "cofactor") {
-        options.engine = core::EngineKind::kCofactor;
-      } else if (e == "monolithic") {
-        options.engine = core::EngineKind::kMonolithicRelation;
-      } else if (e == "partitioned") {
-        options.engine = core::EngineKind::kPartitionedRelation;
-      } else {
-        std::fprintf(stderr, "unknown engine %s\n", e.c_str());
+      const std::optional<core::EngineKind> kind = core::parse_engine_kind(e);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "unknown engine '%s' (valid: %s)\n", e.c_str(),
+                     core::valid_engine_kind_names().c_str());
         return 1;
       }
+      options.engine = *kind;
     } else if (arg == "--schedule") {
       const std::string c = next_arg();
-      if (c == "none") {
-        options.engine_options.schedule = core::ScheduleKind::kNone;
-      } else if (c == "support-overlap") {
-        options.engine_options.schedule = core::ScheduleKind::kSupportOverlap;
-      } else if (c == "bounded-lookahead") {
-        options.engine_options.schedule = core::ScheduleKind::kBoundedLookahead;
-      } else {
-        std::fprintf(stderr, "unknown schedule %s\n", c.c_str());
+      const std::optional<core::ScheduleKind> kind =
+          core::parse_schedule_kind(c);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "unknown schedule '%s' (valid: %s)\n", c.c_str(),
+                     core::valid_schedule_kind_names().c_str());
         return 1;
       }
+      options.engine_options.schedule = *kind;
     } else if (arg == "--equations") {
       equations = true;
     } else if (arg == "--explain") {

@@ -21,6 +21,13 @@ Compares every (family, arm, sift) row present in both files:
 Rows present only in one file are reported but do not fail the gate (the
 smoke job runs a family subset of the full baseline).
 
+--require-arm NAME (repeatable) fails the gate unless the fresh run
+contains at least one row whose arm is NAME or NAME+suffix (e.g.
+"saturation" matches "saturation" and "saturation+sift"): it pins the
+bench's arm roster, so an arm silently dropped from the bench binary --
+the saturation arm, a scheduled arm -- trips CI instead of shrinking the
+comparison.
+
 Exit status: 0 when every compared row is within budget, 1 otherwise.
 To see the gate trip, inflate any peak_live_nodes value in the baseline's
 muller16/mutex12 rows by >25% (or deflate the fresh one) and rerun.
@@ -53,10 +60,22 @@ def main():
                         help="allowed relative growth of seconds")
     parser.add_argument("--min-seconds", type=float, default=0.5,
                         help="baseline seconds below which timing is ignored")
+    parser.add_argument("--require-arm", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless the fresh run has a row for this "
+                             "arm (prefix match, so NAME covers NAME+sift)")
     args = parser.parse_args()
 
     baseline = load_rows(args.baseline)
     fresh = load_rows(args.fresh)
+
+    missing_arms = [name for name in args.require_arm
+                    if not any(arm.startswith(name)
+                               for _, arm, _ in fresh)]
+    if missing_arms:
+        print("error: required arm(s) missing from the fresh run: "
+              + ", ".join(missing_arms))
+        return 1
 
     shared = sorted(set(baseline) & set(fresh))
     if not shared:

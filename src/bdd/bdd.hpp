@@ -8,6 +8,8 @@
 //   * mk / ITE / AND / OR / XOR / NOT                      (Sec. 4)
 //   * cofactor with respect to a cube of literals           (delta_N)
 //   * existential / universal abstraction and AND-EXISTS    (ER/QR, Sec. 5.3)
+//   * rel_next / reach: the twin-pair relational product and the in-kernel
+//     saturation fixpoint (REACH) behind the SaturationEngine backend
 //   * Coudert-Madre restrict (cover simplification)
 //   * SAT counting (the "# of states" column of Table 1)
 //   * node counting (the "BDD size peak|final" column of Table 1)
@@ -136,6 +138,19 @@ class Bdd {
   NodeRef ref_ = kInvalidRef;
 };
 
+/// One relation operand of Manager::reach / Manager::rel_next: a transition
+/// relation over (v, v') twin pairs plus the positive cube of its *unprimed*
+/// support variables. The kernel identifies each support variable's
+/// next-state twin positionally: it is the variable directly below v in the
+/// current order, the layout variable groups maintain for primed encodings
+/// (core::SymbolicStg with_primed_vars). Both operations validate the
+/// layout at the top level and throw ModelError naming any offending
+/// variable.
+struct ReachRelation {
+  Bdd rel;
+  Bdd support;  ///< positive cube of the relation's unprimed support
+};
+
 /// One literal of a cube: variable plus polarity.
 struct Literal {
   Var var = kInvalidVar;
@@ -250,6 +265,36 @@ class Manager {
   /// delegate to the binary AND-EXISTS cache. An empty conjunct list
   /// denotes true. All operands must belong to this manager.
   Bdd and_exists_multi(const std::vector<Bdd>& conjuncts, const Bdd& cube);
+  /// The relational product specialized to twin-pair encodings: the
+  /// successors of `states` under `rel`, i.e.
+  ///
+  ///     (exists sup : states /\ rel)[twin(v) := v  for v in sup]
+  ///
+  /// where `sup` is the positive cube `support` of rel's unprimed support
+  /// variables and twin(v) is the variable directly below v in the current
+  /// order. Quantification and rename happen inside one recursion -- the
+  /// renamed-but-unquantified intermediate of and_exists + permute never
+  /// exists. Variables outside the support flow through `states` untouched
+  /// (the frame condition for free, as with sparse relations). Results are
+  /// cached under Op::kRelNext; the cache is sound across reorders because
+  /// every reorder clears it. Like permute, every call validates its
+  /// operands with linear walks (the twin layout over the supports) --
+  /// the same per-call cost class the classic and_exists + permute image
+  /// pipelines pay inside their validated permute.
+  Bdd rel_next(const Bdd& states, const Bdd& rel, const Bdd& support);
+  /// The in-kernel saturation REACH operation: the least fixpoint of
+  /// `states` under every relation, computed level-by-level. Relations are
+  /// ordered by the current level of their top support variable; at each
+  /// recursion level the substates are saturated under all relations whose
+  /// support lies at or below that level before anything propagates
+  /// upward, so frontier BDDs spanning the whole state space are never
+  /// materialized (Brand-Baeck-Laarman, arXiv:2212.03684, generalized to a
+  /// partitioned relation list a la saturation). Results are cached in a
+  /// dedicated exact-key cache (Op::kReach) keyed on (states, rule index)
+  /// and guarded by the relation-list signature, so repeated fixpoints
+  /// from related seed sets share work. Every relation must satisfy the
+  /// twin-pair layout of rel_next.
+  Bdd reach(const Bdd& states, const std::vector<ReachRelation>& relations);
   /// Coudert-Madre restrict: simplifies f using `care` as a care set; the
   /// result agrees with f on `care`.
   Bdd restrict(const Bdd& f, const Bdd& care);
@@ -380,7 +425,7 @@ class Manager {
 
   enum class Op : std::uint8_t {
     kAnd, kXor, kIte, kExists, kAndExists, kCofactor, kRestrict,
-    kAndExistsMulti
+    kAndExistsMulti, kRelNext, kReach
   };
 
   struct CacheEntry {
@@ -399,6 +444,28 @@ class Manager {
   /// result. The key's last element is the cube.
   struct MultiCacheEntry {
     std::vector<NodeRef> key;
+    NodeRef result = kInvalidRef;
+  };
+
+  /// One rule of a running reach(): a relation edge, its support cube edge
+  /// and the current level of its top support variable. Valid only while
+  /// the top-level reach call is on the stack (the caller's ReachRelation
+  /// handles keep the edges alive).
+  struct ReachRule {
+    NodeRef rel = kInvalidRef;
+    NodeRef cube = kInvalidRef;
+    std::size_t top = 0;
+  };
+
+  /// One slot of the REACH cache. (states, rule index) is an exact key
+  /// *given* the relation list the rules were built from, so the cache
+  /// carries the flattened (rel, cube) signature of that list
+  /// (reach_sig_): a reach() call with a different list clears the
+  /// entries before running, and clear_cache() drops both entries and
+  /// signature so no stale result survives a GC or reorder.
+  struct ReachCacheEntry {
+    NodeRef states = kInvalidRef;
+    std::uint32_t rule = 0;
     NodeRef result = kInvalidRef;
   };
 
@@ -450,6 +517,18 @@ class Manager {
   void multi_cache_store(const std::vector<NodeRef>& ops, NodeRef cube,
                          NodeRef result);
 
+  // REACH cache (Op::kReach; see ReachCacheEntry) and operand validation
+  // (reach.cpp).
+  std::size_t reach_hash(NodeRef states, std::size_t rule) const;
+  NodeRef reach_cache_lookup(NodeRef states, std::size_t rule) const;
+  void reach_cache_store(NodeRef states, std::size_t rule, NodeRef result);
+  /// Per-relation layout checks; accumulates the twin variables into
+  /// `twin_mask` for the one-pass state-set check below.
+  void validate_reach_relation(const Bdd& rel, const Bdd& support,
+                               std::vector<char>& twin_mask) const;
+  void validate_reach_states(const Bdd& states,
+                             const std::vector<char>& twin_mask) const;
+
   // Recursive cores (raw NodeRef level; no GC may run while these are on
   // the stack). OR, NOT and FORALL are not recursions of their own: they
   // are De Morgan duals of AND and EXISTS, sharing their caches.
@@ -463,6 +542,8 @@ class Manager {
   NodeRef exists_rec(NodeRef f, NodeRef cube);
   NodeRef and_exists_rec(NodeRef f, NodeRef g, NodeRef cube);
   NodeRef and_exists_multi_rec(std::vector<NodeRef> ops, NodeRef cube);
+  NodeRef rel_next_rec(NodeRef s, NodeRef r, NodeRef cube);
+  NodeRef reach_rec(NodeRef s, std::size_t rule);
   NodeRef restrict_rec(NodeRef f, NodeRef care);
   NodeRef permute_rec(NodeRef f, const std::vector<Var>& perm,
                       std::unordered_map<NodeRef, NodeRef>& memo);
@@ -513,6 +594,14 @@ class Manager {
   // Allocated lazily on the first n-ary product; cleared with cache_.
   std::vector<MultiCacheEntry> multi_cache_;
   std::size_t multi_cache_mask_ = 0;
+
+  // REACH state: the rule list of the running reach() (sorted by top
+  // level), its cache (allocated lazily on the first reach) and the
+  // relation-list signature the cached entries belong to.
+  std::vector<ReachRule> reach_rules_;
+  std::vector<ReachCacheEntry> reach_cache_;
+  std::size_t reach_cache_mask_ = 0;
+  std::vector<NodeRef> reach_sig_;
 
   std::vector<std::size_t> var2level_;
   std::vector<Var> level2var_;

@@ -351,6 +351,11 @@ void Manager::clear_cache() {
     e.key.clear();
     e.result = kInvalidRef;
   }
+  // The REACH cache's signature guard must go with its entries: a cleared
+  // signature forces the next reach() to start from a flushed cache, so a
+  // stale (states, rule) result can never resurface after a GC or reorder.
+  std::fill(reach_cache_.begin(), reach_cache_.end(), ReachCacheEntry{});
+  reach_sig_.clear();
 }
 
 // ---------------------------------------------------------------------------

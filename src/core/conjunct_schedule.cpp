@@ -6,10 +6,24 @@
 #include <unordered_set>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace stgcheck::core {
 
 using bdd::Var;
+
+namespace {
+
+/// The single source for parse_schedule_kind and
+/// valid_schedule_kind_names: a kind missing here is unreachable from the
+/// CLI *and* absent from its error message, never just one of the two.
+constexpr ScheduleKind kAllScheduleKinds[] = {
+    ScheduleKind::kNone,
+    ScheduleKind::kSupportOverlap,
+    ScheduleKind::kBoundedLookahead,
+};
+
+}  // namespace
 
 const char* to_string(ScheduleKind kind) {
   switch (kind) {
@@ -18,6 +32,26 @@ const char* to_string(ScheduleKind kind) {
     case ScheduleKind::kBoundedLookahead: return "bounded_lookahead";
   }
   return "?";
+}
+
+std::optional<ScheduleKind> parse_schedule_kind(std::string_view name) {
+  for (const ScheduleKind kind : kAllScheduleKinds) {
+    if (names_equal_dashed(name, to_string(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string valid_schedule_kind_names() {
+  // Display the hyphenated spellings the CLI help documents (parsing
+  // accepts either form; to_string stays canonical for the bench JSON).
+  std::string names;
+  for (const ScheduleKind kind : kAllScheduleKinds) {
+    if (!names.empty()) names += ", ";
+    for (const char* p = to_string(kind); *p != '\0'; ++p) {
+      names += *p == '_' ? '-' : *p;
+    }
+  }
+  return names;
 }
 
 namespace {

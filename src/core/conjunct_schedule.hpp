@@ -35,6 +35,9 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -51,6 +54,13 @@ enum class ScheduleKind {
 };
 
 const char* to_string(ScheduleKind kind);
+
+/// Parses a schedule name as printed by to_string ('-' and '_' are
+/// interchangeable, so the CLI spelling "support-overlap" works too);
+/// nullopt for unknown names.
+std::optional<ScheduleKind> parse_schedule_kind(std::string_view name);
+/// Every valid schedule name, comma-separated -- for CLI error messages.
+std::string valid_schedule_kind_names();
 
 struct ConjunctSchedule {
   struct Position {

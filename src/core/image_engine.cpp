@@ -2,20 +2,51 @@
 
 #include <algorithm>
 
+#include "core/saturation.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace stgcheck::core {
 
 using bdd::Bdd;
 using bdd::Var;
 
+namespace {
+
+/// The single source for parse_engine_kind and valid_engine_kind_names.
+constexpr EngineKind kAllEngineKinds[] = {
+    EngineKind::kCofactor,
+    EngineKind::kMonolithicRelation,
+    EngineKind::kPartitionedRelation,
+    EngineKind::kSaturation,
+};
+
+}  // namespace
+
 const char* to_string(EngineKind kind) {
   switch (kind) {
     case EngineKind::kCofactor: return "cofactor";
     case EngineKind::kMonolithicRelation: return "monolithic";
     case EngineKind::kPartitionedRelation: return "partitioned";
+    case EngineKind::kSaturation: return "saturation";
   }
   return "?";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view name) {
+  for (const EngineKind kind : kAllEngineKinds) {
+    if (names_equal_dashed(name, to_string(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string valid_engine_kind_names() {
+  std::string names;
+  for (const EngineKind kind : kAllEngineKinds) {
+    if (!names.empty()) names += ", ";
+    names += to_string(kind);
+  }
+  return names;
 }
 
 // ---------------------------------------------------------------------------
@@ -184,6 +215,12 @@ Bdd ImageEngine::preimage(const Bdd& states) {
   return result;
 }
 
+Bdd ImageEngine::reach_fixpoint(const Bdd&) {
+  throw ModelError(std::string(name()) +
+                   " engine does not compute whole-space fixpoints "
+                   "(computes_global_fixpoint() is false)");
+}
+
 Bdd ImageEngine::unsafe_states(const Bdd& states, pn::TransitionId t) {
   if (!marked_successor_built_[t]) {
     marked_successor_[t] = marked_successor_cube(sym_, t);
@@ -238,25 +275,62 @@ MonolithicRelationEngine::MonolithicRelationEngine(SymbolicStg& sym,
     all_transitions_.push_back(t);
   }
   stats_.units = 1;
+  if (schedule_kind_ != ScheduleKind::kNone) {
+    // Scheduled: neither the full relations nor the monolithic OR are ever
+    // built. Sparse relations are clustered by support, the clusters
+    // ordered by the schedule, and each step products them through the
+    // n-ary kernel.
+    sparse_.reserve(net.transition_count());
+    for (pn::TransitionId t : all_transitions_) {
+      sparse_.push_back(build_sparse_relation(sym, t));
+    }
+    if (schedule_kind_ == ScheduleKind::kBoundedLookahead) {
+      // Self-tuning: predict the peak of OR-accumulating the full-frame
+      // relations from the sparse node counts. Each full relation is its
+      // sparse core plus a frame chain over the untouched (v, v') pairs
+      // (~3 nodes per pair), and partial disjunctions of near-disjoint
+      // frames overshoot the operand total by roughly an order of
+      // magnitude -- measured on the bench families the x10 estimate
+      // lands within 2x of the real peak (mread8 72k vs 80k, mutex12
+      // 103k vs 149k) while select24's genuine blowup (1.4M vs 6.0M) is
+      // far past any threshold. When the prediction is small (mread8),
+      // the relation is cheap to build and one big product per step
+      // beats per-cluster renames, so drop to the unscheduled path. The
+      // prediction runs *before* clustering: a fallen-back engine must
+      // not pay the clustered build's padded-disjunction transient.
+      const std::size_t pairs = sym.manager().var_count() / 2;
+      std::size_t operand_total = 0;
+      for (const TransitionRelation& r : sparse_) {
+        operand_total += sym.manager().count_nodes(r.rel) +
+                         3 * (pairs - r.support.size());
+      }
+      predicted_peak_ = 10 * operand_total;
+      if (options.monolithic_fallback_nodes > 0 &&
+          predicted_peak_ < options.monolithic_fallback_nodes) {
+        fell_back_ = true;
+        schedule_kind_ = ScheduleKind::kNone;
+      }
+    }
+  }
+  if (schedule_kind_ != ScheduleKind::kNone) {
+    sparse_apply_.resize(net.transition_count());
+    clusters_ = cluster_relations(sym, sparse_, options.cluster_node_cap);
+  }
   if (schedule_kind_ == ScheduleKind::kNone) {
     relations_.reserve(net.transition_count());
     monolithic_ = sym.manager().bdd_false();
     for (pn::TransitionId t : all_transitions_) {
-      relations_.push_back(build_full_relation(sym, t));
+      // A fallen-back engine already built the sparse relations for its
+      // prediction; frame them instead of rebuilding from the net.
+      relations_.push_back(fell_back_
+                               ? build_full_relation(sym, sparse_[t])
+                               : build_full_relation(sym, t));
       monolithic_ |= relations_.back();
     }
+    sparse_.clear();
     stats_.relation_nodes = sym.manager().count_nodes(monolithic_);
     return;
   }
-  // Scheduled: neither the full relations nor the monolithic OR are ever
-  // built. Sparse relations are clustered by support, the clusters ordered
-  // by the schedule, and each step products them through the n-ary kernel.
-  sparse_.reserve(net.transition_count());
-  for (pn::TransitionId t : all_transitions_) {
-    sparse_.push_back(build_sparse_relation(sym, t));
-  }
-  sparse_apply_.resize(net.transition_count());
-  clusters_ = cluster_relations(sym, sparse_, options.cluster_node_cap);
   std::vector<std::vector<Var>> supports;
   supports.reserve(clusters_.size());
   std::vector<Bdd> rels;
@@ -521,6 +595,8 @@ std::unique_ptr<ImageEngine> make_engine(EngineKind kind, SymbolicStg& sym,
       return std::make_unique<MonolithicRelationEngine>(sym, options);
     case EngineKind::kPartitionedRelation:
       return std::make_unique<PartitionedRelationEngine>(sym, options);
+    case EngineKind::kSaturation:
+      return std::make_unique<SaturationEngine>(sym, options);
   }
   throw ModelError("unknown engine kind");
 }

@@ -1,4 +1,4 @@
-// The pluggable image-computation layer: one interface, three backends.
+// The pluggable image-computation layer: one interface, four backends.
 //
 // Everything above the encoding -- traversal, the implementability checks,
 // the benches -- computes successor/predecessor sets through an
@@ -33,6 +33,16 @@
 //                                chaining strategy the clusters fire
 //                                disjunctively in sequence, each from the
 //                                set enriched by its predecessors.
+//   * SaturationEngine         -- the in-kernel fixpoint (saturation.hpp):
+//                                the same support-clustered sparse
+//                                relations, partitioned by the level of
+//                                their top support variable and handed to
+//                                the kernel's REACH operation, which
+//                                saturates low variables before high ones
+//                                ever see a frontier. traverse() detects
+//                                it (computes_global_fixpoint) and
+//                                replaces its pass loop with whole-space
+//                                reach_fixpoint calls.
 //
 // Traversal granularity is expressed as "units": the indivisible firing
 // steps a backend offers. The cofactor backend has one unit per
@@ -43,6 +53,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/conjunct_schedule.hpp"
@@ -56,9 +69,18 @@ enum class EngineKind {
   kCofactor,            ///< the paper's delta_N pipeline
   kMonolithicRelation,  ///< one relation over (V, V')
   kPartitionedRelation, ///< support-clustered relations, early quantification
+  kSaturation,          ///< in-kernel REACH fixpoint over level-partitioned
+                        ///< clusters (core/saturation.hpp)
 };
 
 const char* to_string(EngineKind kind);
+
+/// Parses an engine name as printed by to_string ('-' and '_' are
+/// interchangeable, so the CLI spellings work too); nullopt for unknown
+/// names.
+std::optional<EngineKind> parse_engine_kind(std::string_view name);
+/// Every valid engine name, comma-separated -- for CLI error messages.
+std::string valid_engine_kind_names();
 
 struct EngineOptions {
   /// Relational backends: stop growing a cluster once its relation BDD
@@ -75,6 +97,19 @@ struct EngineOptions {
   /// monolithic engine stops materializing its relation entirely. The
   /// cofactor backend ignores this (it has no relations to schedule).
   ScheduleKind schedule = ScheduleKind::kNone;
+  /// Self-tuning fallback for the monolithic engine under
+  /// ScheduleKind::kBoundedLookahead: the engine predicts the peak of
+  /// materializing its monolithic relation from the sparse relation node
+  /// counts (each full-frame operand is its sparse core plus ~3 nodes per
+  /// untouched twin pair; the OR-accumulation overshoots the operand
+  /// total by roughly 10x on the bench families) and, when the prediction
+  /// is below this many nodes, falls back to the unscheduled path: the
+  /// relation is cheap to build and one big product per step beats
+  /// per-cluster renames (mread8: 251k vs 301k peak live). The default
+  /// sits between mread8's 72k prediction (falls back, measured peak 80k)
+  /// and mutex12's 103k (stays scheduled, measured peak 149k). 0 disables
+  /// the fallback; other schedule kinds never fall back.
+  std::size_t monolithic_fallback_nodes = 90'000;
 };
 
 struct ImageEngineStats {
@@ -119,6 +154,26 @@ class ImageEngine {
   virtual const std::vector<pn::TransitionId>& unit_transitions(std::size_t u) const = 0;
   /// Successors of `states` under every transition of unit `u`.
   virtual bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) = 0;
+
+  // ---- Whole-space fixpoints ----------------------------------------------
+
+  /// True when the backend computes the whole reachability least fixpoint
+  /// in one in-kernel operation (SaturationEngine). traverse() then
+  /// replaces its pass/unit loop with a single reach_fixpoint call --
+  /// but only when no lazy initial-value binding remains after the
+  /// initial-state pass (binding needs the temporal order of first
+  /// enablings, which a closed set has erased); a net with an undeclared,
+  /// not-initially-enabled signal runs the step-wise unit loop instead.
+  virtual bool computes_global_fixpoint() const { return false; }
+  /// The least fixpoint of `from` under every transition. Engines that
+  /// return true above must override; the default throws ModelError.
+  virtual bdd::Bdd reach_fixpoint(const bdd::Bdd& from);
+
+  /// The conjunct schedule the backend is *effectively* running (kNone for
+  /// backends without one, and for a scheduled engine that fell back --
+  /// see EngineOptions::monolithic_fallback_nodes). The benches report
+  /// this instead of the requested kind.
+  virtual ScheduleKind schedule_kind() const { return ScheduleKind::kNone; }
 
   // ---- Shared helpers -----------------------------------------------------
 
@@ -237,9 +292,16 @@ class MonolithicRelationEngine final : public ImageEngine {
   }
   bdd::Bdd image_unit(const bdd::Bdd& states, std::size_t u) override;
 
-  ScheduleKind schedule_kind() const { return schedule_kind_; }
+  ScheduleKind schedule_kind() const override { return schedule_kind_; }
   /// Clusters behind the scheduled path (0 when unscheduled).
   std::size_t scheduled_cluster_count() const { return clusters_.size(); }
+  /// True when kBoundedLookahead predicted a cheap monolithic construction
+  /// and the engine dropped to the unscheduled path
+  /// (EngineOptions::monolithic_fallback_nodes).
+  bool schedule_fell_back() const { return fell_back_; }
+  /// The construction-peak prediction the fallback decision used (0 when
+  /// no prediction ran).
+  std::size_t predicted_construction_peak() const { return predicted_peak_; }
 
   /// The full-frame relation of one transition. Only the unscheduled
   /// engine materializes these; throws ModelError otherwise.
@@ -258,6 +320,8 @@ class MonolithicRelationEngine final : public ImageEngine {
   const SparseApplyData& sparse_apply(pn::TransitionId t);
 
   ScheduleKind schedule_kind_;
+  bool fell_back_ = false;
+  std::size_t predicted_peak_ = 0;
   std::vector<pn::TransitionId> all_transitions_;
 
   // Unscheduled path.
@@ -311,7 +375,7 @@ class PartitionedRelationEngine final : public ImageEngine {
   /// the engine's ConjunctSchedule.
   std::vector<std::vector<bdd::Var>> quantification_schedule() const;
   std::size_t cluster_node_cap() const { return cap_; }
-  ScheduleKind schedule_kind() const { return schedule_kind_; }
+  ScheduleKind schedule_kind() const override { return schedule_kind_; }
   /// The cluster firing order and per-position quantification sets.
   const ConjunctSchedule& schedule() const { return schedule_; }
 

@@ -185,10 +185,30 @@ std::vector<RelationCluster> cluster_relations(
   return clusters;
 }
 
+std::vector<RelationCluster> singleton_clusters(
+    SymbolicStg& sym, const std::vector<TransitionRelation>& sparse) {
+  require_primed(sym);
+  std::vector<RelationCluster> clusters;
+  clusters.reserve(sparse.size());
+  for (const TransitionRelation& r : sparse) {
+    RelationCluster c;
+    c.transitions.push_back(r.t);
+    c.rel = r.rel;
+    c.support = r.support;
+    c.factors = r.factors;
+    finalize_cluster(sym, c);
+    clusters.push_back(std::move(c));
+  }
+  return clusters;
+}
+
 Bdd build_full_relation(SymbolicStg& sym, pn::TransitionId t) {
   require_primed(sym);
-  TransitionRelation sparse = build_sparse_relation(sym, t);
+  return build_full_relation(sym, build_sparse_relation(sym, t));
+}
 
+Bdd build_full_relation(SymbolicStg& sym, const TransitionRelation& sparse) {
+  require_primed(sym);
   // Frame every state variable the transition does not touch.
   std::vector<Var> untouched;
   std::vector<Var> state_vars = sym.place_var_list();

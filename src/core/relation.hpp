@@ -54,6 +54,10 @@ struct TransitionRelation {
 /// Full-frame relation of one transition (constrains every state variable).
 /// Requires an encoding built with primed variables.
 bdd::Bdd build_full_relation(SymbolicStg& sym, pn::TransitionId t);
+/// Same, from an already-built sparse relation -- callers that construct
+/// the sparse list anyway (the bounded-lookahead fallback's prediction
+/// pass) must not pay for rebuilding it.
+bdd::Bdd build_full_relation(SymbolicStg& sym, const TransitionRelation& sparse);
 
 /// Frame-free relation of one transition: constraints only over the
 /// variables `t` touches. Requires primed variables.
@@ -91,6 +95,16 @@ struct RelationCluster {
 std::vector<RelationCluster> cluster_relations(
     SymbolicStg& sym, const std::vector<TransitionRelation>& sparse,
     std::size_t cap);
+
+/// One singleton cluster per transition, no merging -- and hence none of
+/// the padded-disjunction construction cost merging pays (select24's
+/// clustered build transiently peaks at ~350k live nodes; the singleton
+/// build allocates nothing beyond the sparse relations themselves). This
+/// is the saturation backend's partition: the kernel REACH saturates
+/// per-relation anyway, so merged clusters only coarsen its level
+/// locality.
+std::vector<RelationCluster> singleton_clusters(
+    SymbolicStg& sym, const std::vector<TransitionRelation>& sparse);
 
 /// Per-transition (or per-cluster) apply data for sparse relational
 /// products over the given support: quantification cubes for both

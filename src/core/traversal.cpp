@@ -108,76 +108,14 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
   AutoSiftPolicy sift_policy(options.auto_sift_threshold,
                              options.sift_converged);
 
-  bool stop = false;
-  while (!stop) {
-    ++result.stats.passes;
-    if (options.max_passes != 0 && result.stats.passes > options.max_passes) {
-      result.complete = false;
-      break;
-    }
-
-    Bdd pass_new = sym.manager().bdd_false();
-    Bdd fire_base = options.strategy == TraversalStrategy::kFullFixpoint
-                        ? reached
-                        : from;
-
-    for (std::size_t u = 0; u < engine.unit_count() && !stop; ++u) {
-      for (pn::TransitionId t : engine.unit_transitions(u)) {
-        // Lazy initial-value binding: the first enabling of a signal pins
-        // its value in everything collected so far.
-        binder.maybe_bind(t, fire_base, {&reached, &from, &fire_base, &pass_new});
-
-        if (options.check_safeness) {
-          // Every backend silently excludes unsafe firings from its image;
-          // detect and report them here (uniformly, from the cubes).
-          const Bdd unsafe = engine.unsafe_states(fire_base, t);
-          if (!unsafe.is_false()) {
-            result.safe = false;
-            result.safeness_detail =
-                "firing " + sym.stg().format_label(t) +
-                " deposits a second token on a successor place";
-            if (options.abort_on_violation) {
-              stop = true;
-              break;
-            }
-          }
-        }
-      }
-      if (stop) break;
-
-      const Bdd to = engine.image_unit(fire_base, u);
-      ++result.stats.image_computations;
-      const Bdd fresh = to.minus(reached);
-      if (fresh.is_false()) continue;
-      reached |= fresh;
-      pass_new |= fresh;
-      if (options.strategy == TraversalStrategy::kChaining) {
-        // Later units in this pass fire from the enriched set ("chaining";
-        // with the partitioned backend this is disjunctive chaining over
-        // clusters).
-        fire_base |= fresh;
-      }
-    }
-
-    if (options.check_consistency && !pass_new.is_false()) {
-      const std::size_t before = result.consistency_violations.size();
-      check_consistency_on(sym, pass_new, result);
-      if (options.abort_on_violation &&
-          result.consistency_violations.size() > before) {
-        stop = true;
-      }
-    }
-
-    track_peak(reached);
-
-    // Between-pass maintenance (never inside a pass: the cubes and
-    // literal handles stay valid, only levels move). The raw live count
-    // includes garbage held alive by dead parents, so collect first and
-    // only sift when the *true* working set doubled since the last
-    // watermark reset (CUDD's policy, AutoSiftPolicy). The GC and the
-    // watermark run on the same schedule whether or not sifting is
-    // enabled, so sift-on vs sift-off comparisons isolate what the
-    // reordering itself buys.
+  // Between-pass maintenance (never inside a pass: the cubes and literal
+  // handles stay valid, only levels move). The raw live count includes
+  // garbage held alive by dead parents, so collect first and only sift
+  // when the *true* working set doubled since the last watermark reset
+  // (CUDD's policy, AutoSiftPolicy). The GC and the watermark run on the
+  // same schedule whether or not sifting is enabled, so sift-on vs
+  // sift-off comparisons isolate what the reordering itself buys.
+  const auto maintain = [&]() {
     if (sift_policy.should_sift(sym.manager().live_nodes())) {
       sym.manager().collect_garbage();
       const std::size_t live = sym.manager().live_nodes();
@@ -186,10 +124,119 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
         sift_policy.reset_watermark(sym.manager().live_nodes());
       }
     }
+  };
 
-    if (pass_new.is_false()) break;  // fixed point
-    from = pass_new;
-  }
+  bool stop = false;
+
+  // The saturation path: the engine computes the whole least fixpoint in
+  // one in-kernel operation, so there is no pass/unit loop to interleave
+  // the on-the-fly checks with. That is only sound when no lazy binding
+  // remains: binding infers a signal's initial value from the *first*
+  // enabling of one of its transitions, a temporal fact the closed set
+  // has erased (both directions of the signal may be enabled somewhere in
+  // the closure, and picking either from the closure could contradict the
+  // value every step-wise engine binds during exploration). Signals with
+  // declared initial values -- every bench family and example net -- and
+  // signals enabled in the very first state are already bound by the
+  // preamble above; anything still unbound routes to the step-wise loop
+  // below, which runs correctly on this engine's per-cluster units. The
+  // consistency/safeness checks run once on the final closed set, which
+  // contains every state the step-wise engines would have checked.
+  if (engine.computes_global_fixpoint() && binder.unbound().empty()) {
+    // One pass, always: the whole closure is a single kernel operation,
+    // so options.max_passes (a safety valve for iterative engines) cannot
+    // bound it -- any nonzero cap admits this one pass.
+    ++result.stats.passes;
+    reached = engine.reach_fixpoint(reached);
+    ++result.stats.image_computations;
+    track_peak(reached);
+    maintain();
+    if (options.check_consistency) {
+      check_consistency_on(sym, reached, result);
+    }
+    if (options.check_safeness) {
+      for (pn::TransitionId t = 0; t < net.transition_count(); ++t) {
+        if (!engine.unsafe_states(reached, t).is_false()) {
+          result.safe = false;
+          result.safeness_detail =
+              "firing " + sym.stg().format_label(t) +
+              " deposits a second token on a successor place";
+          break;
+        }
+      }
+    }
+    // Match the step-wise engines' verdict: a violation under
+    // abort_on_violation reports the traversal as incomplete.
+    if (options.abort_on_violation && (!result.consistent || !result.safe)) {
+      stop = true;
+    }
+  } else {
+    while (!stop) {
+      ++result.stats.passes;
+      if (options.max_passes != 0 && result.stats.passes > options.max_passes) {
+        result.complete = false;
+        break;
+      }
+
+      Bdd pass_new = sym.manager().bdd_false();
+      Bdd fire_base = options.strategy == TraversalStrategy::kFullFixpoint
+                          ? reached
+                          : from;
+
+      for (std::size_t u = 0; u < engine.unit_count() && !stop; ++u) {
+        for (pn::TransitionId t : engine.unit_transitions(u)) {
+          // Lazy initial-value binding: the first enabling of a signal pins
+          // its value in everything collected so far.
+          binder.maybe_bind(t, fire_base, {&reached, &from, &fire_base, &pass_new});
+
+          if (options.check_safeness) {
+            // Every backend silently excludes unsafe firings from its image;
+            // detect and report them here (uniformly, from the cubes).
+            const Bdd unsafe = engine.unsafe_states(fire_base, t);
+            if (!unsafe.is_false()) {
+              result.safe = false;
+              result.safeness_detail =
+                  "firing " + sym.stg().format_label(t) +
+                  " deposits a second token on a successor place";
+              if (options.abort_on_violation) {
+                stop = true;
+                break;
+              }
+            }
+          }
+        }
+        if (stop) break;
+
+        const Bdd to = engine.image_unit(fire_base, u);
+        ++result.stats.image_computations;
+        const Bdd fresh = to.minus(reached);
+        if (fresh.is_false()) continue;
+        reached |= fresh;
+        pass_new |= fresh;
+        if (options.strategy == TraversalStrategy::kChaining) {
+          // Later units in this pass fire from the enriched set ("chaining";
+          // with the partitioned backend this is disjunctive chaining over
+          // clusters).
+          fire_base |= fresh;
+        }
+      }
+
+      if (options.check_consistency && !pass_new.is_false()) {
+        const std::size_t before = result.consistency_violations.size();
+        check_consistency_on(sym, pass_new, result);
+        if (options.abort_on_violation &&
+            result.consistency_violations.size() > before) {
+          stop = true;
+        }
+      }
+
+      track_peak(reached);
+      maintain();
+
+      if (pass_new.is_false()) break;  // fixed point
+      from = pass_new;
+    }
+  }  // step-wise path
   if (stop) result.complete = false;
 
   // De-duplicate violation messages (the same signal can trip many passes).

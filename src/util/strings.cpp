@@ -30,6 +30,16 @@ bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
 }
 
+bool names_equal_dashed(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] == '-' ? '_' : a[i];
+    const char cb = b[i] == '-' ? '_' : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
 std::string with_commas(unsigned long long value) {
   std::string digits = std::to_string(value);
   std::string out;

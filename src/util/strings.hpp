@@ -16,6 +16,11 @@ std::string_view trim(std::string_view text);
 /// True if `text` begins with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);
 
+/// Equality with '-' and '_' interchangeable on both sides: the rule the
+/// CLI name parsers (--engine, --schedule) match user input against the
+/// canonical to_string names with.
+bool names_equal_dashed(std::string_view a, std::string_view b);
+
 /// Formats `value` with thousands separators ("1234567" -> "1,234,567").
 std::string with_commas(unsigned long long value);
 

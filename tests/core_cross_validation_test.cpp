@@ -148,10 +148,13 @@ INSTANTIATE_TEST_SUITE_P(Orders, OrderingInvariance,
                                            Ordering::kRandom));
 
 // ---------------------------------------------------------------------------
-// Engine cross-validation: every ImageEngine backend must reach the same
-// fixed point (pass counts aside) and produce the same check verdicts on
-// every net family. All engines share one primed encoding, so the reached
-// sets are compared as BDDs, not just counted.
+// Engine cross-validation: every ImageEngine backend -- including the
+// saturation backend, whose whole fixpoint runs inside one kernel REACH
+// operation -- must reach the same fixed point (pass counts aside) and
+// produce the same check verdicts on every net family. All engines share
+// one primed encoding, so the reached sets are compared as BDDs, not just
+// counted: bit-identical against the cofactor reference means
+// bit-identical against every other backend.
 // ---------------------------------------------------------------------------
 
 class EngineCrossValidation
@@ -210,7 +213,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, kNetCount),
                        ::testing::Values(EngineKind::kCofactor,
                                          EngineKind::kMonolithicRelation,
-                                         EngineKind::kPartitionedRelation)));
+                                         EngineKind::kPartitionedRelation,
+                                         EngineKind::kSaturation)));
 
 }  // namespace
 }  // namespace stgcheck::core

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <set>
 #include <vector>
@@ -306,6 +307,72 @@ TEST(ScheduledMonolithic, DoesNotMaterializeTheMonolithicRelation) {
   // The unscheduled accessors still work.
   EXPECT_NO_THROW(unscheduled.monolithic());
   EXPECT_EQ(unscheduled.schedule_kind(), ScheduleKind::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// The self-tuning bounded-lookahead fallback
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleFallback, BoundedLookaheadFallsBackWhenConstructionIsCheap) {
+  const stg::Stg net = stg::master_read(4);
+  SymbolicStg sym(net, Ordering::kInterleaved, 1 << 14, true);
+  EngineOptions options;
+  options.schedule = ScheduleKind::kBoundedLookahead;
+  options.monolithic_fallback_nodes =
+      std::numeric_limits<std::size_t>::max();  // everything is "cheap"
+  MonolithicRelationEngine engine(sym, options);
+  EXPECT_TRUE(engine.schedule_fell_back());
+  EXPECT_GT(engine.predicted_construction_peak(), 0u);
+  // The engine now runs the unscheduled path for real: the relation is
+  // materialized and the effective schedule reads none.
+  EXPECT_EQ(engine.schedule_kind(), ScheduleKind::kNone);
+  EXPECT_NO_THROW(engine.monolithic());
+  EXPECT_EQ(engine.scheduled_cluster_count(), 0u);
+}
+
+TEST(ScheduleFallback, ZeroThresholdDisablesTheFallback) {
+  const stg::Stg net = stg::master_read(4);
+  SymbolicStg sym(net, Ordering::kInterleaved, 1 << 14, true);
+  EngineOptions options;
+  options.schedule = ScheduleKind::kBoundedLookahead;
+  options.monolithic_fallback_nodes = 0;
+  MonolithicRelationEngine engine(sym, options);
+  EXPECT_FALSE(engine.schedule_fell_back());
+  EXPECT_EQ(engine.schedule_kind(), ScheduleKind::kBoundedLookahead);
+  EXPECT_THROW(engine.monolithic(), ModelError);
+}
+
+TEST(ScheduleFallback, OtherScheduleKindsNeverFallBack) {
+  const stg::Stg net = stg::master_read(4);
+  SymbolicStg sym(net, Ordering::kInterleaved, 1 << 14, true);
+  EngineOptions options;
+  options.schedule = ScheduleKind::kSupportOverlap;
+  options.monolithic_fallback_nodes =
+      std::numeric_limits<std::size_t>::max();
+  MonolithicRelationEngine engine(sym, options);
+  EXPECT_FALSE(engine.schedule_fell_back());
+  EXPECT_EQ(engine.schedule_kind(), ScheduleKind::kSupportOverlap);
+}
+
+TEST(ScheduleFallback, FallenBackEngineMatchesTheUnscheduledOne) {
+  const stg::Stg net = stg::master_read(4);
+  SymbolicStg sym(net, Ordering::kInterleaved, 1 << 14, true);
+  TraversalOptions topts;
+  topts.abort_on_violation = false;
+
+  MonolithicRelationEngine unscheduled(sym);
+  const TraversalResult ref = traverse(unscheduled, topts);
+
+  EngineOptions options;
+  options.schedule = ScheduleKind::kBoundedLookahead;
+  options.monolithic_fallback_nodes =
+      std::numeric_limits<std::size_t>::max();
+  MonolithicRelationEngine fallen(sym, options);
+  ASSERT_TRUE(fallen.schedule_fell_back());
+  const TraversalResult r = traverse(fallen, topts);
+  EXPECT_EQ(r.reached, ref.reached);
+  EXPECT_DOUBLE_EQ(r.stats.states, ref.stats.states);
+  EXPECT_EQ(fallen.monolithic(), unscheduled.monolithic());
 }
 
 // ---------------------------------------------------------------------------
