@@ -47,20 +47,30 @@
 // and cache work move: the computed-cache hit rate and the unique-table
 // load factor, both read from ManagerStats at the end of the arm.
 //
+// The parallel-kernel axis reruns the two winner arms (saturation and the
+// scheduled monolithic product) with the work-stealing pool attached
+// ("saturation t4", "monolithic sched. t8", ...); their rows carry a
+// "threads" field, and threads=1 rows are the bit-identical reference the
+// regression gate holds the thread arms' state counts to.
+//
 // Results are printed and also written to BENCH_traversal.json.
 // Usage: bench_traversal_strategies [--sift | --no-sift]
 //                                   [--family <name>]... [--out <path>]
+//                                   [--threads <n>]...
 //   --sift     only the sift-on arms  (writes BENCH_traversal.sift.json)
 //   --no-sift  only the sift-off arms (writes BENCH_traversal.nosift.json)
 //   --family   run only the named net family (muller16, mread8, mutex12,
 //              select24); repeatable. The CI bench-smoke job uses this to
 //              gate on the fast families only.
+//   --threads  thread counts for the parallel-kernel axis; repeatable
+//              (default 1, 4, 8). "1" alone suppresses the thread arms.
 //   --out      override the output JSON path.
 //   (default: both arms, all families, written to BENCH_traversal.json)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,6 +88,7 @@ struct Row {
   std::string arm;
   bool sift = false;
   std::string schedule = "none";  // conjunct schedule of the engine
+  std::size_t threads = 1;        // BDD kernel worker threads
   std::size_t passes = 0;
   std::size_t images = 0;
   std::size_t peak_reached = 0;   // BDD size of Reached (Table 1 "peak")
@@ -97,11 +108,11 @@ std::vector<Row> g_rows;
 
 void record(const Row& row) {
   std::printf(
-      "  %-22s passes=%4zu images=%6zu peak=%8zu live-peak=%8zu inter=%8zu "
-      "rel=%6zu units=%4zu conj=%3zu reorders=%2zu hit=%.3f load=%.2f "
-      "time=%7.3fs states=%.3e\n",
-      row.arm.c_str(), row.passes, row.images, row.peak_reached, row.peak_live,
-      row.peak_intermediate, row.relation_nodes, row.units,
+      "  %-22s thr=%zu passes=%4zu images=%6zu peak=%8zu live-peak=%8zu "
+      "inter=%8zu rel=%6zu units=%4zu conj=%3zu reorders=%2zu hit=%.3f "
+      "load=%.2f time=%7.3fs states=%.3e\n",
+      row.arm.c_str(), row.threads, row.passes, row.images, row.peak_reached,
+      row.peak_live, row.peak_intermediate, row.relation_nodes, row.units,
       row.scheduled_conjuncts, row.reorders, row.cache_hit_rate,
       row.unique_load, row.seconds, row.states);
   std::fflush(stdout);
@@ -128,7 +139,7 @@ void run_cofactor_arm(const stg::Stg& s, const std::string& name,
   core::TraversalResult r = core::traverse(
       engine, arm_options(strategy, sift, core::ScheduleKind::kNone));
   const bdd::ManagerStats ms = sym.manager().stats();
-  record(Row{s.name(), name, sift, "none", r.stats.passes,
+  record(Row{s.name(), name, sift, "none", /*threads=*/1, r.stats.passes,
              r.stats.image_computations, r.stats.peak_reached_nodes,
              sym.manager().peak_live_nodes(),
              engine.stats().peak_intermediate_nodes,
@@ -141,21 +152,24 @@ void run_cofactor_arm(const stg::Stg& s, const std::string& name,
 void run_relation_arm(const stg::Stg& s, const std::string& name,
                       core::EngineKind kind, core::TraversalStrategy strategy,
                       bool sift,
-                      core::ScheduleKind schedule = core::ScheduleKind::kNone) {
+                      core::ScheduleKind schedule = core::ScheduleKind::kNone,
+                      std::size_t threads = 1) {
   Stopwatch watch;
   core::SymbolicStg sym(s, core::Ordering::kInterleaved, 1 << 14,
                         /*with_primed_vars=*/true);
   core::EngineOptions engine_options;
   engine_options.schedule = schedule;
+  engine_options.threads = threads;
   const std::unique_ptr<core::ImageEngine> engine =
       core::make_engine(kind, sym, engine_options);
-  core::TraversalResult r =
-      core::traverse(*engine, arm_options(strategy, sift, schedule));
+  core::TraversalOptions options = arm_options(strategy, sift, schedule);
+  options.engine_options.threads = threads;
+  core::TraversalResult r = core::traverse(*engine, options);
   const bdd::ManagerStats ms = sym.manager().stats();
   // The *effective* schedule: the self-tuning monolithic engine may have
   // fallen back to none (EngineOptions::monolithic_fallback_nodes).
   record(Row{s.name(), name, sift, core::to_string(engine->schedule_kind()),
-             r.stats.passes,
+             threads, r.stats.passes,
              r.stats.image_computations, r.stats.peak_reached_nodes,
              sym.manager().peak_live_nodes(),
              engine->stats().peak_intermediate_nodes,
@@ -165,7 +179,8 @@ void run_relation_arm(const stg::Stg& s, const std::string& name,
              r.stats.states});
 }
 
-void run(const stg::Stg& s, bool sift_off, bool sift_on) {
+void run(const stg::Stg& s, bool sift_off, bool sift_on,
+         const std::vector<std::size_t>& thread_axis) {
   std::printf("--- %s ---\n", s.name().c_str());
   std::vector<bool> toggles;
   if (sift_off) toggles.push_back(false);
@@ -200,6 +215,23 @@ void run(const stg::Stg& s, bool sift_off, bool sift_on) {
                      core::EngineKind::kSaturation,
                      core::TraversalStrategy::kChaining, sift);
   }
+  // The parallel-kernel axis: the two winner arms (in-kernel saturation
+  // and the scheduled monolithic product) rerun with the work-stealing
+  // pool attached. Sift stays off so the row isolates the kernel's
+  // threading; the 1-thread rows above are the bit-identical reference
+  // the regression gate compares state counts against.
+  if (!sift_off) return;
+  for (const std::size_t threads : thread_axis) {
+    if (threads == 1) continue;  // the plain arms above are the t1 rows
+    const std::string suffix = " t" + std::to_string(threads);
+    run_relation_arm(s, "saturation" + suffix, core::EngineKind::kSaturation,
+                     core::TraversalStrategy::kChaining, /*sift=*/false,
+                     core::ScheduleKind::kNone, threads);
+    run_relation_arm(s, "monolithic sched." + suffix,
+                     core::EngineKind::kMonolithicRelation,
+                     core::TraversalStrategy::kFrontierBfs, /*sift=*/false,
+                     core::ScheduleKind::kBoundedLookahead, threads);
+  }
 }
 
 void write_json(const char* path) {
@@ -213,7 +245,7 @@ void write_json(const char* path) {
     const Row& r = g_rows[i];
     std::fprintf(f,
                  "  {\"family\": \"%s\", \"arm\": \"%s\", \"sift\": %s, "
-                 "\"schedule\": \"%s\", \"passes\": %zu, "
+                 "\"schedule\": \"%s\", \"threads\": %zu, \"passes\": %zu, "
                  "\"images\": %zu, \"peak_reached_nodes\": %zu, "
                  "\"peak_live_nodes\": %zu, \"peak_intermediate_nodes\": %zu, "
                  "\"relation_nodes\": %zu, "
@@ -222,7 +254,8 @@ void write_json(const char* path) {
                  "\"cache_hit_rate\": %.4f, \"unique_table_load\": %.4f, "
                  "\"seconds\": %.6f, \"states\": %.6e}%s\n",
                  r.family.c_str(), r.arm.c_str(), r.sift ? "true" : "false",
-                 r.schedule.c_str(), r.passes, r.images, r.peak_reached,
+                 r.schedule.c_str(), r.threads, r.passes, r.images,
+                 r.peak_reached,
                  r.peak_live, r.peak_intermediate, r.relation_nodes, r.units,
                  r.scheduled_conjuncts, r.reorders, r.cache_hit_rate,
                  r.unique_load, r.seconds, r.states,
@@ -248,6 +281,7 @@ int main(int argc, char** argv) {
   bool sift_off = true;
   bool sift_on = true;
   std::vector<std::string> families;
+  std::vector<std::size_t> thread_axis;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sift") == 0) {
@@ -256,16 +290,26 @@ int main(int argc, char** argv) {
       sift_on = false;
     } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
       families.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const std::optional<std::size_t> n =
+          core::parse_thread_count(argv[++i]);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "bad thread count '%s' (valid: %s)\n",
+                     argv[i], core::valid_thread_count_range().c_str());
+        return 1;
+      }
+      thread_axis.push_back(*n);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sift | --no-sift] [--family <name>]... "
-                   "[--out <path>]\n",
+                   "[--threads <n>]... [--out <path>]\n",
                    argv[0]);
       return 1;
     }
   }
+  if (thread_axis.empty()) thread_axis = {1, 4, 8};
   if (!sift_off && !sift_on) {
     // Both flags together would run nothing and clobber the JSON with [].
     std::fprintf(stderr, "--sift and --no-sift are mutually exclusive\n");
@@ -293,7 +337,7 @@ int main(int argc, char** argv) {
   std::puts("=== Traversal strategy ablation (Fig. 5) ===");
   for (const auto& fam : kFamilies) {
     if (family_selected(families, fam.name)) {
-      run(fam.make(), sift_off, sift_on);
+      run(fam.make(), sift_off, sift_on, thread_axis);
     }
   }
   if (out_path != nullptr) {

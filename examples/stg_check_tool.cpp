@@ -12,6 +12,8 @@
 //                       cluster firing order + n-ary relational products;
 //                       bounded-lookahead self-tunes the monolithic engine
 //                       back to none when its relation is cheap to build)
+//     --threads   N     BDD kernel worker threads (1 = exact sequential
+//                       kernel, bit-identical results at any count)
 //     --equations       also derive and print the complex-gate netlist
 //     --explain         print firing-trace witnesses for CSC/persistency
 //                       violations (uses the explicit engine)
@@ -44,6 +46,7 @@ void usage() {
       "  --strategy  S     chaining | bfs | fixpoint\n"
       "  --engine    E     cofactor | monolithic | partitioned | saturation\n"
       "  --schedule  C     none | support-overlap | bounded-lookahead\n"
+      "  --threads   N     BDD kernel worker threads (1 = sequential)\n"
       "  --equations       derive and print the complex-gate netlist\n"
       "  --explain         print firing-trace witnesses for violations\n"
       "  --dot             print the STG as Graphviz dot\n"
@@ -128,6 +131,15 @@ int main(int argc, char** argv) {
         return 1;
       }
       options.engine_options.schedule = *kind;
+    } else if (arg == "--threads") {
+      const std::string n = next_arg();
+      const std::optional<std::size_t> count = core::parse_thread_count(n);
+      if (!count.has_value()) {
+        std::fprintf(stderr, "bad thread count '%s' (valid: %s)\n", n.c_str(),
+                     core::valid_thread_count_range().c_str());
+        return 1;
+      }
+      options.engine_options.threads = *count;
     } else if (arg == "--equations") {
       equations = true;
     } else if (arg == "--explain") {

@@ -38,19 +38,42 @@
 // OR/NOT/FORALL are derived from AND/EXISTS through De Morgan instead of
 // holding cache space of their own.
 //
-// Nodes live in a flat vector. Reference counts include both parent edges
-// and external references and are kept per node (both polarities of an
-// edge pin the same node); `Bdd` is the RAII external handle. Dead nodes
-// stay in the unique table (they may be resurrected by a lookup) until
-// garbage collection sweeps them, which only happens between top-level
-// operations, never inside a recursion.
+// Nodes live in a chunked arena (stable chunk pointers, so concurrent
+// readers are never invalidated by growth). Reference counts include both
+// parent edges and external references and are kept per node (both
+// polarities of an edge pin the same node); `Bdd` is the RAII external
+// handle. Dead nodes stay in the unique table (they may be resurrected by
+// a lookup) until garbage collection sweeps them, which only happens
+// between top-level operations, never inside a recursion.
+//
+// Parallel kernel: set_thread_count(n > 1) attaches a work-stealing
+// TaskPool and the handle-level wrappers of the heavy operations (apply /
+// ITE / quantification / relational products / REACH) fork their cofactor
+// branches as tasks. Inside such a parallel region the unique table
+// inserts with a lock-free bucket-head CAS (duplicate-insert races
+// resolve to the same canonical NodeRef; the loser's slot is recycled at
+// region end), the computed caches publish entries through per-entry
+// seqlocks, reference counts and the node/dead gauges use atomics, and
+// the hot hit/lookup counters are kept per worker and merged on read.
+// GC, table growth and sifting only ever run between top-level operations
+// -- exactly the kernel's existing quiescent points -- so they need no
+// synchronization of their own. With thread_count() == 1 every operation
+// takes the identical sequential code path as before (bit-identical
+// results, counters and peaks). The external API stays single-threaded:
+// one user thread drives the manager, the pool fans out underneath it.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/task_pool.hpp"
 
 namespace stgcheck::bdd {
 
@@ -378,21 +401,47 @@ class Manager {
   /// this against their recorded epoch to know when to refresh.
   std::size_t reorder_epoch() const { return reorder_epoch_; }
 
+  // ---- Threads -----------------------------------------------------------
+
+  /// Cap on set_thread_count (also the size of the per-worker counter
+  /// blocks).
+  static constexpr std::size_t kMaxThreads = 64;
+
+  /// Sets how many threads the kernel's operations may use, clamped to
+  /// [1, kMaxThreads]. With 1 (the default) every operation runs the
+  /// exact sequential code path -- bit-identical results, counters and
+  /// peaks. With n > 1 a work-stealing pool of n threads (including the
+  /// caller) is attached and the heavy recursions fork their cofactor
+  /// branches near the root. Results are still canonical, so a parallel
+  /// run returns the very same NodeRef a sequential run would. Must be
+  /// called between top-level operations (like sift / collect_garbage).
+  void set_thread_count(std::size_t n);
+  std::size_t thread_count() const { return thread_count_; }
+
   // ---- Memory ------------------------------------------------------------
 
   /// Forces a garbage collection (normally triggered automatically).
   void collect_garbage();
   ManagerStats stats() const;
-  std::size_t live_nodes() const { return node_count_ - dead_count_; }
-  std::size_t peak_live_nodes() const { return peak_live_; }
+  std::size_t live_nodes() const {
+    return node_count_.load(std::memory_order_relaxed) -
+           dead_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_live_nodes() const {
+    return peak_live_.load(std::memory_order_relaxed);
+  }
   /// Resets the step-local live-node watermark to the current live count.
   /// Unlike peak_live_nodes() -- a monotone manager-lifetime high-water
   /// mark -- the window watermark can be rearmed around a single operation
   /// (an image step, one relational product) to measure its transient
   /// intermediates in isolation.
-  void reset_peak_window() { window_peak_live_ = node_count_ - dead_count_; }
+  void reset_peak_window() {
+    window_peak_live_.store(live_nodes(), std::memory_order_relaxed);
+  }
   /// High-water mark of live nodes since the last reset_peak_window().
-  std::size_t window_peak_live() const { return window_peak_live_; }
+  std::size_t window_peak_live() const {
+    return window_peak_live_.load(std::memory_order_relaxed);
+  }
 
   // ---- Diagnostics -------------------------------------------------------
 
@@ -434,6 +483,10 @@ class Manager {
     NodeRef h = kInvalidRef;
     Op op = Op::kAnd;
     NodeRef result = kInvalidRef;
+    /// Seqlock word for parallel regions: odd while a writer owns the
+    /// slot, bumped to the next even value when the entry is published.
+    /// Sequential lookups and stores ignore it entirely.
+    std::uint32_t version = 0;
   };
 
   /// One slot of the n-ary relational product cache. The fixed-width
@@ -467,18 +520,38 @@ class Manager {
     NodeRef states = kInvalidRef;
     std::uint32_t rule = 0;
     NodeRef result = kInvalidRef;
+    std::uint32_t version = 0;  ///< seqlock word, as in CacheEntry
   };
 
   static constexpr std::uint32_t kNilIndex =
       std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::size_t kMultiCacheSize = std::size_t{1} << 15;
+  static constexpr std::size_t kReachCacheSize = std::size_t{1} << 15;
+
+  // Node storage: a chunked arena instead of one flat vector. Chunk
+  // pointers never move once published, so growth during a parallel
+  // region cannot invalidate a concurrent reader's Node& (the std::vector
+  // reallocation hazard). The extra indirection is one dependent load.
+  static constexpr unsigned kChunkBits = 16;
+  static constexpr std::size_t kChunkCapacity = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << (31 - kChunkBits);
 
   // Node helpers. deref() ignores the complement flag: both polarities of
   // an edge share the node. low_of()/high_of() apply the flag, so they
   // return the true cofactors of the *function* the edge denotes.
-  const Node& deref(NodeRef e) const { return nodes_[edge_index(e)]; }
-  Node& deref(NodeRef e) { return nodes_[edge_index(e)]; }
-  const Node& node_at(std::uint32_t idx) const { return nodes_[idx]; }
-  Node& node_at(std::uint32_t idx) { return nodes_[idx]; }
+  const Node& node_at(std::uint32_t idx) const {
+    return chunks_[idx >> kChunkBits].load(std::memory_order_relaxed)
+        [idx & (kChunkCapacity - 1)];
+  }
+  Node& node_at(std::uint32_t idx) {
+    return chunks_[idx >> kChunkBits].load(std::memory_order_relaxed)
+        [idx & (kChunkCapacity - 1)];
+  }
+  const Node& deref(NodeRef e) const { return node_at(edge_index(e)); }
+  Node& deref(NodeRef e) { return node_at(edge_index(e)); }
+  std::uint32_t nodes_size() const {
+    return nodes_size_.load(std::memory_order_relaxed);
+  }
   bool is_term(NodeRef e) const { return edge_index(e) == 0; }
   NodeRef low_of(NodeRef e) const {
     return deref(e).low ^ (e & 1u);
@@ -499,6 +572,13 @@ class Manager {
   // Unique table.
   NodeRef mk(Var v, NodeRef low, NodeRef high);
   NodeRef alloc_node(Var v, NodeRef low, NodeRef high);
+  /// Lock-free insert for parallel regions: bump-allocates a slot, fills
+  /// it, then publishes it with a CAS on the bucket head. A racing insert
+  /// of the same triple resolves to the first-published node; the loser's
+  /// slot is remembered and recycled at region end.
+  NodeRef alloc_node_par(Var v, NodeRef low, NodeRef high, std::size_t slot);
+  /// Grows the chunk directory until at least `needed` slots exist.
+  void ensure_chunks(std::uint32_t needed);
   void unique_insert(std::uint32_t idx);
   void unique_remove(std::uint32_t idx);
   std::size_t hash_triple(Var v, NodeRef low, NodeRef high) const;
@@ -552,6 +632,47 @@ class Manager {
   bool disjoint_rec(NodeRef f, NodeRef g,
                     std::unordered_map<std::uint64_t, bool>& memo) const;
 
+  // Parallel kernel (parallel.cpp). The *_par recursions mirror their
+  // sequential twins exactly but fork the two cofactor branches onto the
+  // task pool while `depth` > 0; once the fork budget is spent (or the
+  // subproblem is within kSeqLevelCutoff levels of the bottom) they fall
+  // through to the sequential cores, which are parallel-safe because every
+  // shared-state access branches on parallel_active_. Canonicity makes the
+  // merge trivial: whichever thread builds a function first publishes the
+  // node every other thread then finds.
+  void begin_parallel_op();
+  void end_parallel_op();
+  struct ParallelRegion {
+    Manager& m;
+    explicit ParallelRegion(Manager& mgr) : m(mgr) { m.begin_parallel_op(); }
+    ~ParallelRegion() { m.end_parallel_op(); }
+  };
+  /// Below this many remaining levels a subproblem is too small to fork.
+  static constexpr std::size_t kSeqLevelCutoff = 10;
+  bool fork_worthwhile(int depth, std::size_t top) const {
+    return depth > 0 && top + kSeqLevelCutoff < level2var_.size();
+  }
+  NodeRef and_par(NodeRef f, NodeRef g, int depth);
+  NodeRef or_par(NodeRef f, NodeRef g, int depth) {
+    return bdd_not(and_par(bdd_not(f), bdd_not(g), depth));
+  }
+  NodeRef xor_par(NodeRef f, NodeRef g, int depth);
+  NodeRef ite_par(NodeRef f, NodeRef g, NodeRef h, int depth);
+  NodeRef exists_par(NodeRef f, NodeRef cube, int depth);
+  NodeRef and_exists_par(NodeRef f, NodeRef g, NodeRef cube, int depth);
+  NodeRef and_exists_multi_par(std::vector<NodeRef> ops, NodeRef cube,
+                               int depth);
+  NodeRef rel_next_par(NodeRef s, NodeRef r, NodeRef cube, int depth);
+  NodeRef reach_par(NodeRef s, std::size_t rule);
+  /// Fires rules [begin, end) -- a maximal run with the same top level --
+  /// on `cur` concurrently (binary split over the pool) and returns the
+  /// union of cur with every rule's image.
+  NodeRef fire_group(NodeRef cur, std::size_t begin, std::size_t end,
+                     int depth);
+  /// Raises the lifetime and window peak-live watermarks to the current
+  /// live count (CAS max; plain monotone store semantics when sequential).
+  void bump_peaks();
+
   // ISOP core. Returns the BDD of the cover and appends cubes (sharing the
   // current prefix passed by the caller).
   NodeRef isop_rec(NodeRef on, NodeRef upper, CubeLiterals& prefix,
@@ -574,26 +695,52 @@ class Manager {
   Bdd make_handle(NodeRef r) { return Bdd(this, r); }
 
   // Data.
-  std::vector<Node> nodes_;
+  //
+  // Node arena: chunk pointers are published with release stores and never
+  // change afterwards, so node_at() needs only a relaxed load (any index a
+  // thread legitimately holds was obtained through a synchronizing read of
+  // the bucket head or of nodes_size_). Slots are bump-allocated from
+  // nodes_size_; the free list recycles slots in sequential mode only.
+  std::unique_ptr<std::atomic<Node*>[]> chunks_;  // kMaxChunks slots
+  std::size_t chunk_count_ = 0;                   // guarded by chunk_mu_
+  std::mutex chunk_mu_;
+  std::atomic<std::uint32_t> nodes_size_{0};  // bump high-water mark
   std::uint32_t free_list_ = kNilIndex;
-  std::size_t node_count_ = 0;  // nodes in table (live + dead)
-  std::size_t dead_count_ = 0;
-  std::size_t peak_live_ = 0;
-  std::size_t window_peak_live_ = 0;  // rearmed by reset_peak_window()
+  std::atomic<std::size_t> node_count_{0};  // nodes in table (live + dead)
+  std::atomic<std::size_t> dead_count_{0};
+  std::atomic<std::size_t> peak_live_{0};
+  std::atomic<std::size_t> window_peak_live_{0};  // reset_peak_window()
   std::size_t gc_runs_ = 0;
 
-  std::vector<std::uint32_t> buckets_;  // head node index per bucket
+  // Unique-table buckets: head node index per bucket. Parallel insertion
+  // CAS-publishes a new head with release order; chain scans start from an
+  // acquire load of the head, which (insertions being RMWs that continue
+  // the release sequence) covers every node in the chain.
+  std::vector<std::atomic<std::uint32_t>> buckets_;
   std::size_t bucket_mask_ = 0;
-  mutable std::size_t unique_hits_ = 0;
 
   std::vector<CacheEntry> cache_;
   std::size_t cache_mask_ = 0;
-  mutable std::size_t cache_hits_ = 0;
-  mutable std::size_t cache_lookups_ = 0;
+
+  // Hot-path statistics, kept per worker (cache-line separated) so the
+  // parallel recursions never contend on a shared counter; stats() sums
+  // the blocks. Worker 0 is the sequential path, so threads=1 touches
+  // exactly one block -- same values as the old scalar counters.
+  struct alignas(64) HotCounters {
+    std::size_t unique_hits = 0;
+    std::size_t cache_hits = 0;
+    std::size_t cache_lookups = 0;
+  };
+  mutable std::array<HotCounters, kMaxThreads> hot_{};
+  HotCounters& hot() const { return hot_[TaskPool::worker_index()]; }
 
   // Allocated lazily on the first n-ary product; cleared with cache_.
+  // Entries hold heap-allocated keys, so parallel access is striped-locked
+  // (multi_stripes_, allocated with the pool) instead of seqlocked.
   std::vector<MultiCacheEntry> multi_cache_;
   std::size_t multi_cache_mask_ = 0;
+  static constexpr std::size_t kMultiStripes = 256;
+  mutable std::unique_ptr<std::mutex[]> multi_stripes_;
 
   // REACH state: the rule list of the running reach() (sorted by top
   // level), its cache (allocated lazily on the first reach) and the
@@ -619,6 +766,18 @@ class Manager {
   std::vector<std::vector<std::uint32_t>> nodes_at_var_;  // node indices
 
   bool gc_enabled_ = true;
+
+  // Parallel kernel state. pool_ exists only while thread_count_ > 1.
+  // parallel_active_ is written by the owner thread strictly before the
+  // pool wakes and after every task is joined, so workers always observe
+  // it through the pool's activation fences -- a plain bool suffices.
+  std::size_t thread_count_ = 1;
+  int fork_depth_ = 0;  // per-op fork budget, ~log2(threads) + slack
+  bool parallel_active_ = false;
+  std::unique_ptr<TaskPool> pool_;
+  // Slots lost in duplicate-insert races, recycled at region end.
+  std::vector<std::uint32_t> abandoned_;
+  std::mutex abandoned_mu_;
 };
 
 }  // namespace stgcheck::bdd

@@ -19,22 +19,56 @@ namespace stgcheck::bdd {
 
 // ---------------------------------------------------------------------------
 // Handle-level wrappers
+//
+// With threads > 1 each wrapper opens a parallel region (unique table and
+// caches switch to their concurrent protocols), wakes the pool and runs
+// the *_par recursion -- unless the operands are so shallow that even the
+// first fork would fail the cutoff, in which case the region overhead is
+// skipped entirely. With threads == 1 (pool_ == nullptr) every line below
+// is exactly the pre-parallel sequential kernel.
 // ---------------------------------------------------------------------------
 
 Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
-  Bdd result = make_handle(and_rec(f.ref(), g.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr &&
+      fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root(
+        [&] { return and_par(f.ref(), g.ref(), fork_depth_); });
+  } else {
+    raw = and_rec(f.ref(), g.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
 
 Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
-  Bdd result = make_handle(or_rec(f.ref(), g.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr &&
+      fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root(
+        [&] { return or_par(f.ref(), g.ref(), fork_depth_); });
+  } else {
+    raw = or_rec(f.ref(), g.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
 
 Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) {
-  Bdd result = make_handle(xor_rec(f.ref(), g.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr &&
+      fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root(
+        [&] { return xor_par(f.ref(), g.ref(), fork_depth_); });
+  } else {
+    raw = xor_rec(f.ref(), g.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
@@ -45,7 +79,17 @@ Bdd Manager::apply_not(const Bdd& f) {
 }
 
 Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
-  Bdd result = make_handle(ite_rec(f.ref(), g.ref(), h.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr &&
+      fork_worthwhile(fork_depth_, std::min({level(f.ref()), level(g.ref()),
+                                             level(h.ref())}))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root(
+        [&] { return ite_par(f.ref(), g.ref(), h.ref(), fork_depth_); });
+  } else {
+    raw = ite_rec(f.ref(), g.ref(), h.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
@@ -57,20 +101,47 @@ Bdd Manager::cofactor(const Bdd& f, const Bdd& cube) {
 }
 
 Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
-  Bdd result = make_handle(exists_rec(f.ref(), cube.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr && fork_worthwhile(fork_depth_, level(f.ref()))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root(
+        [&] { return exists_par(f.ref(), cube.ref(), fork_depth_); });
+  } else {
+    raw = exists_rec(f.ref(), cube.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
 
 Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
   // De Morgan: forall x. f == not exists x. not f -- shares the EXISTS cache.
-  Bdd result = make_handle(bdd_not(exists_rec(bdd_not(f.ref()), cube.ref())));
+  NodeRef raw;
+  if (pool_ != nullptr && fork_worthwhile(fork_depth_, level(f.ref()))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root([&] {
+      return bdd_not(exists_par(bdd_not(f.ref()), cube.ref(), fork_depth_));
+    });
+  } else {
+    raw = bdd_not(exists_rec(bdd_not(f.ref()), cube.ref()));
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
 
 Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
-  Bdd result = make_handle(and_exists_rec(f.ref(), g.ref(), cube.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr &&
+      fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root([&] {
+      return and_exists_par(f.ref(), g.ref(), cube.ref(), fork_depth_);
+    });
+  } else {
+    raw = and_exists_rec(f.ref(), g.ref(), cube.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
@@ -79,13 +150,30 @@ Bdd Manager::and_exists_multi(const std::vector<Bdd>& conjuncts,
                               const Bdd& cube) {
   std::vector<NodeRef> ops;
   ops.reserve(conjuncts.size());
+  std::size_t top = kTerminalLevel;
   for (const Bdd& f : conjuncts) {
     if (f.manager() != this) {
       throw ModelError("and_exists_multi: operand from a different manager");
     }
     ops.push_back(f.ref());
+    top = std::min(top, level(f.ref()));
   }
-  Bdd result = make_handle(and_exists_multi_rec(std::move(ops), cube.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr && fork_worthwhile(fork_depth_, top)) {
+    // The multi cache lazily resizes on the sequential path; pre-allocate
+    // it here so no thread does that inside the region.
+    if (multi_cache_.empty()) {
+      multi_cache_.resize(kMultiCacheSize);
+      multi_cache_mask_ = kMultiCacheSize - 1;
+    }
+    ParallelRegion region(*this);
+    raw = pool_->run_root([&] {
+      return and_exists_multi_par(std::move(ops), cube.ref(), fork_depth_);
+    });
+  } else {
+    raw = and_exists_multi_rec(std::move(ops), cube.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }

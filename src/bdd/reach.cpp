@@ -32,6 +32,7 @@
 #include "bdd/bdd.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/error.hpp"
 
@@ -107,7 +108,18 @@ Bdd Manager::rel_next(const Bdd& states, const Bdd& rel, const Bdd& support) {
   std::vector<char> twin_mask(var2level_.size(), 0);
   validate_reach_relation(rel, support, twin_mask);
   validate_reach_states(states, twin_mask);
-  Bdd result = make_handle(rel_next_rec(states.ref(), rel.ref(), support.ref()));
+  NodeRef raw;
+  if (pool_ != nullptr &&
+      fork_worthwhile(fork_depth_,
+                      std::min(level(states.ref()), level(rel.ref())))) {
+    ParallelRegion region(*this);
+    raw = pool_->run_root([&] {
+      return rel_next_par(states.ref(), rel.ref(), support.ref(), fork_depth_);
+    });
+  } else {
+    raw = rel_next_rec(states.ref(), rel.ref(), support.ref());
+  }
+  Bdd result = make_handle(raw);
   maybe_gc();
   return result;
 }
@@ -202,7 +214,20 @@ Bdd Manager::reach(const Bdd& states,
   }
 
   reach_rules_ = std::move(rules);
-  Bdd result = make_handle(reach_rec(states.ref(), 0));
+  NodeRef raw;
+  if (pool_ != nullptr && !reach_rules_.empty() && !is_term(states.ref())) {
+    // The REACH cache lazily resizes on the sequential path; pre-allocate
+    // it here so no thread does that inside the region.
+    if (reach_cache_.empty()) {
+      reach_cache_.resize(kReachCacheSize);
+      reach_cache_mask_ = kReachCacheSize - 1;
+    }
+    ParallelRegion region(*this);
+    raw = pool_->run_root([&] { return reach_par(states.ref(), 0); });
+  } else {
+    raw = reach_rec(states.ref(), 0);
+  }
+  Bdd result = make_handle(raw);
   reach_rules_.clear();
   maybe_gc();
   return result;
@@ -261,13 +286,35 @@ std::size_t Manager::reach_hash(NodeRef states, std::size_t rule) const {
 }
 
 NodeRef Manager::reach_cache_lookup(NodeRef states, std::size_t rule) const {
-  ++cache_lookups_;
+  ++hot().cache_lookups;
   if (reach_cache_.empty()) return kInvalidRef;
   const ReachCacheEntry& e =
       reach_cache_[reach_hash(states, rule) & reach_cache_mask_];
-  if (e.result != kInvalidRef && e.states == states && e.rule == rule) {
-    ++cache_hits_;
-    return e.result;
+  if (!parallel_active_) {
+    if (e.result != kInvalidRef && e.states == states && e.rule == rule) {
+      ++hot().cache_hits;
+      return e.result;
+    }
+    return kInvalidRef;
+  }
+  // Seqlock read, exactly as in cache_lookup(): a torn snapshot is a miss.
+  ReachCacheEntry& me = const_cast<ReachCacheEntry&>(e);
+  const std::uint32_t v1 =
+      std::atomic_ref<std::uint32_t>(me.version).load(std::memory_order_acquire);
+  if ((v1 & 1u) != 0) return kInvalidRef;
+  const NodeRef es =
+      std::atomic_ref<NodeRef>(me.states).load(std::memory_order_relaxed);
+  const std::uint32_t er =
+      std::atomic_ref<std::uint32_t>(me.rule).load(std::memory_order_relaxed);
+  const NodeRef eres =
+      std::atomic_ref<NodeRef>(me.result).load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  const std::uint32_t v2 =
+      std::atomic_ref<std::uint32_t>(me.version).load(std::memory_order_relaxed);
+  if (v1 != v2) return kInvalidRef;
+  if (eres != kInvalidRef && es == states && er == rule) {
+    ++hot().cache_hits;
+    return eres;
   }
   return kInvalidRef;
 }
@@ -275,12 +322,29 @@ NodeRef Manager::reach_cache_lookup(NodeRef states, std::size_t rule) const {
 void Manager::reach_cache_store(NodeRef states, std::size_t rule,
                                 NodeRef result) {
   if (reach_cache_.empty()) {
-    constexpr std::size_t kReachCacheSize = 1u << 15;
+    // Never reached inside a parallel region: reach() pre-allocates.
+    assert(!parallel_active_);
     reach_cache_.resize(kReachCacheSize);
     reach_cache_mask_ = kReachCacheSize - 1;
   }
-  reach_cache_[reach_hash(states, rule) & reach_cache_mask_] =
-      ReachCacheEntry{states, static_cast<std::uint32_t>(rule), result};
+  ReachCacheEntry& e = reach_cache_[reach_hash(states, rule) & reach_cache_mask_];
+  if (!parallel_active_) {
+    e = ReachCacheEntry{states, static_cast<std::uint32_t>(rule), result};
+    return;
+  }
+  // Seqlock write, exactly as in cache_store(): claim or skip (lossy).
+  std::atomic_ref<std::uint32_t> ver(e.version);
+  std::uint32_t v = ver.load(std::memory_order_relaxed);
+  if ((v & 1u) != 0) return;
+  if (!ver.compare_exchange_strong(v, v + 1, std::memory_order_acquire,
+                                   std::memory_order_relaxed)) {
+    return;
+  }
+  std::atomic_ref<NodeRef>(e.states).store(states, std::memory_order_relaxed);
+  std::atomic_ref<std::uint32_t>(e.rule).store(
+      static_cast<std::uint32_t>(rule), std::memory_order_relaxed);
+  std::atomic_ref<NodeRef>(e.result).store(result, std::memory_order_relaxed);
+  ver.store(v + 2, std::memory_order_release);
 }
 
 }  // namespace stgcheck::bdd

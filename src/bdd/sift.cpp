@@ -332,8 +332,10 @@ std::size_t Manager::swap_levels(std::size_t upper_level) {
 }
 
 void Manager::gather_var_nodes() {
+  assert(!parallel_active_ && "reordering only runs at quiescence");
   nodes_at_var_.assign(var2level_.size(), {});
-  for (std::uint32_t idx = 1; idx < nodes_.size(); ++idx) {
+  const std::uint32_t size = nodes_size();
+  for (std::uint32_t idx = 1; idx < size; ++idx) {
     const Node& n = node_at(idx);
     if (n.var != kInvalidVar) nodes_at_var_[n.var].push_back(idx);
   }

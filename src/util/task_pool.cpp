@@ -1,0 +1,110 @@
+#include "util/task_pool.hpp"
+
+namespace stgcheck {
+
+thread_local std::size_t TaskPool::tls_index_ = 0;
+
+TaskPool::TaskPool(std::size_t threads) : deques_(threads) {
+  threads_.reserve(threads - 1);
+  for (std::size_t i = 1; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::activate() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+}
+
+void TaskPool::deactivate() {
+  // No lock needed: workers re-check under mu_ before sleeping, and by the
+  // time run_root()'s guard runs this, every forked task has been joined,
+  // so no worker still holds manager state.
+  active_.store(false, std::memory_order_release);
+}
+
+void TaskPool::worker_loop(std::size_t index) {
+  tls_index_ = index;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return shutdown_ || active_.load(std::memory_order_relaxed);
+    });
+    if (shutdown_) return;
+    lock.unlock();
+    while (active_.load(std::memory_order_acquire)) {
+      if (!try_run_one(index)) std::this_thread::yield();
+    }
+    lock.lock();
+  }
+}
+
+void TaskPool::fork(Task* t) {
+  Deque& d = deques_[tls_index_];
+  std::lock_guard<std::mutex> lock(d.mu);
+  d.items.push_back(t);
+}
+
+void TaskPool::join(Task* t) {
+  const std::size_t self = tls_index_;
+  bool run_inline = false;
+  {
+    Deque& d = deques_[self];
+    std::lock_guard<std::mutex> lock(d.mu);
+    // Forks are joined LIFO within a frame, so an unstolen task is the
+    // newest entry of our own deque.
+    if (!d.items.empty() && d.items.back() == t) {
+      d.items.pop_back();
+      run_inline = true;
+    }
+  }
+  if (run_inline) {
+    finish(t);
+  } else {
+    // Stolen: help with other work instead of blocking the core.
+    while (!t->done_.load(std::memory_order_acquire)) {
+      if (!try_run_one(self)) std::this_thread::yield();
+    }
+  }
+  if (t->error_) std::rethrow_exception(t->error_);
+}
+
+bool TaskPool::try_run_one(std::size_t self) {
+  Task* t = nullptr;
+  {
+    Deque& d = deques_[self];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (!d.items.empty()) {
+      t = d.items.back();
+      d.items.pop_back();
+    }
+  }
+  if (t == nullptr) {
+    const std::size_t n = deques_.size();
+    for (std::size_t k = 1; k < n && t == nullptr; ++k) {
+      Deque& d = deques_[(self + k) % n];
+      std::lock_guard<std::mutex> lock(d.mu);
+      if (!d.items.empty()) {
+        t = d.items.front();
+        d.items.erase(d.items.begin());
+      }
+    }
+  }
+  if (t == nullptr) return false;
+  finish(t);
+  return true;
+}
+
+}  // namespace stgcheck

@@ -1,0 +1,122 @@
+// A small work-stealing fork/join pool for the parallel BDD kernel.
+//
+// The pool owns `threads - 1` std::thread workers; the thread that calls
+// run_root() participates as worker 0, so a pool of N threads computes on
+// exactly N cores. Work is expressed as Task objects allocated on the
+// *forking frame's stack*: fork() publishes the task on the forker's
+// deque, join() either runs it inline (if nobody stole it) or helps by
+// running other tasks until the thief finishes. Because every fork is
+// joined in the same frame, a task never outlives the stack frame that
+// owns it.
+//
+// Scheduling is classic work stealing: each worker pops its own deque
+// LIFO (depth-first, cache-friendly) and steals FIFO from a victim's
+// deque (breadth-first, big subproblems first). Deques are tiny
+// mutex-guarded vectors -- the BDD recursions fork only near the root
+// (sequential cutoff), so deque traffic is a few hundred operations per
+// top-level call and a spin-free mutex keeps the pool easy to reason
+// about under ThreadSanitizer.
+//
+// Workers sleep on a condition variable between run_root() regions and
+// spin-yield inside one, so an idle pool costs nothing while a live
+// region never pays a wakeup latency on the steal path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace stgcheck {
+
+class TaskPool {
+ public:
+  /// One forkable unit of work. Subclasses implement run(); the object
+  /// must stay alive until join() returns (stack allocation in the
+  /// forking frame is the intended use).
+  struct Task {
+    virtual ~Task() = default;
+    virtual void run() = 0;
+
+   private:
+    friend class TaskPool;
+    std::atomic<bool> done_{false};
+    std::exception_ptr error_;
+  };
+
+  /// Spawns `threads - 1` workers (the run_root() caller is the rest).
+  /// `threads` must be >= 2 -- a 1-thread pool is pointless, callers
+  /// keep their plain sequential path instead.
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t thread_count() const { return deques_.size(); }
+
+  /// Dense id of the calling thread: 0 for the owner (and for any thread
+  /// outside a pool), 1..threads-1 for spawned workers. Stable for the
+  /// thread's lifetime; used to index per-thread statistics.
+  static std::size_t worker_index() { return tls_index_; }
+
+  /// Wakes the workers, runs `f` on the calling thread (which becomes
+  /// worker 0) and puts the workers back to sleep once `f` returns.
+  /// Returns f(). All tasks forked inside `f` complete before this
+  /// returns, because every fork is joined within `f`'s call tree.
+  template <typename F>
+  auto run_root(F&& f) {
+    activate();
+    struct Guard {
+      TaskPool* pool;
+      ~Guard() { pool->deactivate(); }
+    } guard{this};
+    return f();
+  }
+
+  /// Publishes `t` on the calling thread's deque for potential theft.
+  void fork(Task* t);
+
+  /// Completes `t`: runs it inline when it is still unstolen (the common
+  /// case -- it is the newest entry of our own deque), otherwise runs
+  /// other tasks until the thief is done. Rethrows any exception `t`'s
+  /// run() raised.
+  void join(Task* t);
+
+ private:
+  struct alignas(64) Deque {
+    std::mutex mu;
+    std::vector<Task*> items;  // back = newest (popped LIFO, stolen FIFO)
+  };
+
+  void activate();
+  void deactivate();
+  void worker_loop(std::size_t index);
+  /// Pops one task (own deque first, then steal) and runs it. False if
+  /// every deque was empty.
+  bool try_run_one(std::size_t self);
+  static void finish(Task* t) {
+    try {
+      t->run();
+    } catch (...) {
+      t->error_ = std::current_exception();
+    }
+    t->done_.store(true, std::memory_order_release);
+  }
+
+  static thread_local std::size_t tls_index_;
+
+  std::vector<Deque> deques_;        // one per thread, index 0 = owner
+  std::vector<std::thread> threads_; // the spawned workers (indices 1..)
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> active_{false};
+  bool shutdown_ = false;
+};
+
+}  // namespace stgcheck
