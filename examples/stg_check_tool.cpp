@@ -1,4 +1,8 @@
-// stg_check: the command-line implementability checker.
+// stg_check: the command-line implementability checker -- the one-shot,
+// one-session consumer of the session layer (core/session.hpp). Parsing
+// aside, everything it does is: build a CheckSession, run it, render the
+// session's report and event records. The resident form of the same
+// pipeline is stg_checkd (examples/stg_checkd.cpp).
 //
 //   usage: stg_check [options] <file.g>
 //     --arbitrate A,B   declare an arbitration pair (repeatable; footnote 1)
@@ -14,6 +18,10 @@
 //                       back to none when its relation is cheap to build)
 //     --threads   N     BDD kernel worker threads (1 = exact sequential
 //                       kernel, bit-identical results at any count)
+//     --json            machine-readable output: one JSON document with
+//                       the typed event records and the full report
+//                       (field-for-field the facts of the human summary;
+//                       same schema as the stg_checkd "result" reply)
 //     --equations       also derive and print the complex-gate netlist
 //     --explain         print firing-trace witnesses for CSC/persistency
 //                       violations (uses the explicit engine)
@@ -26,14 +34,17 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/implementability.hpp"
+#include "core/session.hpp"
 #include "logic/logic.hpp"
+#include "server/protocol.hpp"
 #include "sg/witnesses.hpp"
 #include "stg/astg_io.hpp"
 #include "stg/dot_export.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -47,6 +58,7 @@ void usage() {
       "  --engine    E     cofactor | monolithic | partitioned | saturation\n"
       "  --schedule  C     none | support-overlap | bounded-lookahead\n"
       "  --threads   N     BDD kernel worker threads (1 = sequential)\n"
+      "  --json            machine-readable event records + report\n"
       "  --equations       derive and print the complex-gate netlist\n"
       "  --explain         print firing-trace witnesses for violations\n"
       "  --dot             print the STG as Graphviz dot\n"
@@ -59,7 +71,8 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace stgcheck;
 
-  core::CheckOptions options;
+  core::SessionOptions options;
+  bool json_output = false;
   bool equations = false;
   bool explain = false;
   bool dot = false;
@@ -82,36 +95,27 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--arbitrate expects A,B got %s\n", pair.c_str());
         return 1;
       }
-      options.arbitration_pairs.push_back(
+      options.check.arbitration_pairs.push_back(
           {pair.substr(0, comma), pair.substr(comma + 1)});
     } else if (arg == "--ordering") {
       const std::string o = next_arg();
-      if (o == "interleaved") {
-        options.ordering = core::Ordering::kInterleaved;
-      } else if (o == "clustered") {
-        options.ordering = core::Ordering::kClustered;
-      } else if (o == "declaration") {
-        options.ordering = core::Ordering::kDeclaration;
-      } else if (o == "signals-first") {
-        options.ordering = core::Ordering::kSignalsFirst;
-      } else if (o == "random") {
-        options.ordering = core::Ordering::kRandom;
-      } else {
-        std::fprintf(stderr, "unknown ordering %s\n", o.c_str());
+      const std::optional<core::Ordering> ordering = core::parse_ordering(o);
+      if (!ordering.has_value()) {
+        std::fprintf(stderr, "unknown ordering '%s' (valid: %s)\n", o.c_str(),
+                     core::valid_ordering_names().c_str());
         return 1;
       }
+      options.check.ordering = *ordering;
     } else if (arg == "--strategy") {
       const std::string s = next_arg();
-      if (s == "chaining") {
-        options.strategy = core::TraversalStrategy::kChaining;
-      } else if (s == "bfs") {
-        options.strategy = core::TraversalStrategy::kFrontierBfs;
-      } else if (s == "fixpoint") {
-        options.strategy = core::TraversalStrategy::kFullFixpoint;
-      } else {
-        std::fprintf(stderr, "unknown strategy %s\n", s.c_str());
+      const std::optional<core::TraversalStrategy> strategy =
+          core::parse_traversal_strategy(s);
+      if (!strategy.has_value()) {
+        std::fprintf(stderr, "unknown strategy '%s' (valid: %s)\n", s.c_str(),
+                     core::valid_traversal_strategy_names().c_str());
         return 1;
       }
+      options.check.strategy = *strategy;
     } else if (arg == "--engine") {
       const std::string e = next_arg();
       const std::optional<core::EngineKind> kind = core::parse_engine_kind(e);
@@ -120,7 +124,7 @@ int main(int argc, char** argv) {
                      core::valid_engine_kind_names().c_str());
         return 1;
       }
-      options.engine = *kind;
+      options.check.engine = *kind;
     } else if (arg == "--schedule") {
       const std::string c = next_arg();
       const std::optional<core::ScheduleKind> kind =
@@ -130,7 +134,7 @@ int main(int argc, char** argv) {
                      core::valid_schedule_kind_names().c_str());
         return 1;
       }
-      options.engine_options.schedule = *kind;
+      options.check.engine_options.schedule = *kind;
     } else if (arg == "--threads") {
       const std::string n = next_arg();
       const std::optional<std::size_t> count = core::parse_thread_count(n);
@@ -139,7 +143,9 @@ int main(int argc, char** argv) {
                      core::valid_thread_count_range().c_str());
         return 1;
       }
-      options.engine_options.threads = *count;
+      options.check.engine_options.threads = *count;
+    } else if (arg == "--json") {
+      json_output = true;
     } else if (arg == "--equations") {
       equations = true;
     } else if (arg == "--explain") {
@@ -177,8 +183,21 @@ int main(int argc, char** argv) {
       std::fputs(stg::to_dot(spec).c_str(), stdout);
     }
 
-    core::ImplementabilityReport report = core::check_implementability(spec, options);
-    std::fputs(report.summary(spec).c_str(), stdout);
+    core::CheckSession session(spec, std::move(options));
+    const core::ImplementabilityReport& report = session.run();
+
+    if (json_output) {
+      json::Value events = json::Value::array();
+      for (const core::EventRecord& record : session.events().records()) {
+        events.push_back(server::event_to_json(record));
+      }
+      json::Value doc = json::Value::object();
+      doc.set("events", std::move(events));
+      doc.set("report", server::report_to_json(spec, report));
+      std::puts(doc.dump().c_str());
+    } else {
+      std::fputs(report.summary(spec).c_str(), stdout);
+    }
 
     if (explain && report.safe && report.consistent) {
       sg::StateGraph graph = sg::build_state_graph(spec);
@@ -186,7 +205,7 @@ int main(int argc, char** argv) {
         std::puts("(--explain skipped: net too large for the explicit engine)");
       } else {
         sg::PersistencyOptions popts;
-        for (const auto& [a, b] : options.arbitration_pairs) {
+        for (const auto& [a, b] : session.options().check.arbitration_pairs) {
           const stg::SignalId sa = spec.find_signal(a);
           const stg::SignalId sb = spec.find_signal(b);
           if (sa != stg::kNoSignal && sb != stg::kNoSignal) {

@@ -1,0 +1,84 @@
+// stg_checkd: the resident implementability-check daemon.
+//
+// Accepts many nets over a local AF_UNIX socket speaking line-delimited
+// JSON (schema: src/server/protocol.hpp and docs/architecture.md), runs
+// up to --threads check sessions concurrently, and streams each session's
+// typed event records to the submitting client as they are emitted. Runs
+// until a client sends {"op":"shutdown"}.
+//
+//   usage: stg_checkd --socket <path> [--threads N]
+//     --socket  PATH   AF_UNIX socket path to listen on (required)
+//     --threads N      max concurrently running sessions (default 4,
+//                      clamped to [1, 64])
+//
+// Try it:
+//   stg_checkd --socket /tmp/stg_checkd.sock &
+//   stg_checkd_client --socket /tmp/stg_checkd.sock --batch nets/*.g
+//   stg_checkd_client --socket /tmp/stg_checkd.sock --shutdown
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/check_server.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: stg_checkd --socket <path> [--threads N]\n"
+      "  --socket  PATH   AF_UNIX socket path to listen on\n"
+      "  --threads N      max concurrently running sessions (default 4)\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stgcheck;
+
+  server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_arg = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      options.socket_path = next_arg();
+    } else if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(std::atol(next_arg()));
+      if (options.threads < 1) {
+        std::fputs("--threads must be >= 1\n", stderr);
+        return 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (options.socket_path.empty()) {
+    usage();
+    return 1;
+  }
+
+  try {
+    server::CheckServer server(options);
+    server.start();
+    std::fprintf(stderr, "stg_checkd: listening on %s (%zu threads)\n",
+                 options.socket_path.c_str(), server.thread_count());
+    server.wait();  // returns after a client's shutdown op
+    std::fputs("stg_checkd: shut down\n", stderr);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the resident check server, as CI runs it:
+# start stg_checkd, submit every example net as one batch, stream the
+# event records to completion, compare each daemon report field-for-field
+# against a one-shot `stg_check --json` run of the same net, and shut the
+# daemon down cleanly (the process must exit 0 on its own).
+#
+# Usage: checkd_integration.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+NETS_DIR="examples/nets"
+for tool in stg_checkd stg_checkd_client stg_check_tool; do
+  [[ -x "$BUILD_DIR/$tool" ]] || { echo "missing $BUILD_DIR/$tool (build first)" >&2; exit 1; }
+done
+
+WORK_DIR="$(mktemp -d)"
+SOCKET="$WORK_DIR/checkd.sock"
+DAEMON_PID=
+cleanup() {
+  [[ -n "$DAEMON_PID" ]] && kill "$DAEMON_PID" 2> /dev/null || true
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+"$BUILD_DIR/stg_checkd" --socket "$SOCKET" --threads 4 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [[ -S "$SOCKET" ]] && break
+  kill -0 "$DAEMON_PID" 2> /dev/null || { echo "daemon died on startup" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -S "$SOCKET" ]] || { echo "daemon socket never appeared" >&2; exit 1; }
+
+echo "== ping"
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --ping
+
+echo "== batch $(ls "$NETS_DIR"/*.g | wc -l) nets at 4 threads (streaming)"
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --batch "$NETS_DIR"/*.g \
+  > "$WORK_DIR/daemon.jsonl"
+
+echo "== one-shot baselines"
+for net in "$NETS_DIR"/*.g; do
+  name="$(basename "$net" .g)"
+  # stg_check exits 2 for a correctly diagnosed non-implementable net.
+  "$BUILD_DIR/stg_check_tool" --json "$net" > "$WORK_DIR/oneshot_$name.json" || {
+    status=$?
+    [[ "$status" -eq 2 ]] || { echo "stg_check_tool failed on $net ($status)" >&2; exit "$status"; }
+  }
+done
+
+echo "== compare daemon reports against one-shot reports"
+python3 - "$WORK_DIR" "$NETS_DIR" <<'PY'
+import json, pathlib, sys
+
+work, nets_dir = pathlib.Path(sys.argv[1]), sys.argv[2]
+
+def strip_times(report):
+    return {k: v for k, v in report.items() if k != "times"}
+
+results, events, batch_done = {}, 0, False
+for line in (work / "daemon.jsonl").read_text().splitlines():
+    if not line.strip():
+        continue
+    doc = json.loads(line)
+    if "event" in doc:
+        events += 1
+        continue
+    kind = doc.get("reply")
+    if kind == "error":
+        sys.exit(f"daemon error reply: {line}")
+    if kind == "result":
+        if "error" in doc:
+            sys.exit(f"session failed: {line}")
+        results[doc["session"]] = strip_times(doc["report"])
+    if kind == "batch_done":
+        batch_done = True
+
+if not batch_done:
+    sys.exit("stream ended without batch_done")
+if events == 0:
+    sys.exit("no event records were streamed")
+
+nets = sorted(pathlib.Path(nets_dir).glob("*.g"))
+if len(results) != len(nets):
+    sys.exit(f"expected {len(nets)} results, got {len(results)}: {sorted(results)}")
+
+for net in nets:
+    oneshot = json.loads((work / f"oneshot_{net.stem}.json").read_text())
+    expected = strip_times(oneshot["report"])
+    got = results[str(net)]  # sessions are keyed by the submitted path
+    if got != expected:
+        sys.exit(f"{net}: daemon report diverged from one-shot\n"
+                 f"  daemon:  {json.dumps(got, sort_keys=True)}\n"
+                 f"  oneshot: {json.dumps(expected, sort_keys=True)}")
+    print(f"  {net.stem}: {got['level']} -- identical ({events} events streamed in total)")
+PY
+
+echo "== status + shutdown"
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --status
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=
+echo "checkd integration: OK"

@@ -442,6 +442,19 @@ class Manager {
   std::size_t window_peak_live() const {
     return window_peak_live_.load(std::memory_order_relaxed);
   }
+  /// Rearms the lifetime peak-live gauge (and the step window) to the
+  /// current live count. peak_live_nodes() is otherwise a monotone
+  /// manager-lifetime high-water mark, which is the wrong scope for a
+  /// manager reused across checks: without the reset, every row of a
+  /// batch (a session pool re-running checks on one encoding) inherits
+  /// the largest peak any earlier check hit. CheckSession calls this at
+  /// the start of every run so reported gauges are per-check. Like GC and
+  /// sifting, call only between top-level operations.
+  void reset_peak_stats() {
+    const std::size_t live = live_nodes();
+    peak_live_.store(live, std::memory_order_relaxed);
+    window_peak_live_.store(live, std::memory_order_relaxed);
+  }
 
   // ---- Diagnostics -------------------------------------------------------
 

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 #include "util/strings.hpp"
 
 namespace stgcheck::core {
@@ -82,7 +81,7 @@ std::vector<std::size_t> overlap_order(
   std::vector<std::size_t> order;
   order.reserve(n);
   std::vector<bool> placed(n, false);
-  std::unordered_set<Var> seen;
+  FlatSet<Var> seen;
   for (std::size_t step = 0; step < n; ++step) {
     std::size_t best = n;
     std::size_t best_overlap = 0;
@@ -113,7 +112,7 @@ std::vector<std::size_t> overlap_order(
 std::vector<std::size_t> lookahead_order(
     const std::vector<std::vector<Var>>& sets) {
   const std::size_t n = sets.size();
-  std::unordered_map<Var, std::size_t> occurrences;
+  FlatMap<Var, std::size_t> occurrences;
   for (const std::vector<Var>& s : sets) {
     for (Var v : s) ++occurrences[v];
   }
@@ -126,7 +125,7 @@ std::vector<std::size_t> lookahead_order(
   std::vector<std::size_t> order;
   order.reserve(n);
   std::vector<bool> placed(n, false);
-  std::unordered_set<Var> seen;
+  FlatSet<Var> seen;
   for (std::size_t step = 0; step < n; ++step) {
     std::size_t best = n;
     std::size_t best_score = 0;
@@ -185,9 +184,8 @@ ConjunctSchedule ConjunctSchedule::conjunctive(
   // Each quantifiable variable goes to the last position whose support
   // contains it; variables in no support are dropped (nothing constrains
   // them, so quantifying them is the identity).
-  const std::unordered_set<Var> wanted(quantifiable.begin(),
-                                       quantifiable.end());
-  std::unordered_map<Var, std::size_t> last_use;
+  const FlatSet<Var> wanted(quantifiable.begin(), quantifiable.end());
+  FlatMap<Var, std::size_t> last_use;
   for (std::size_t pos = 0; pos < order.size(); ++pos) {
     for (Var v : sets[order[pos]]) {
       if (wanted.count(v)) last_use[v] = pos;
@@ -235,15 +233,14 @@ void ConjunctSchedule::validate_conjunctive(
 
   // The reference plan: every quantifiable variable occurring in some
   // support, at the last position whose support contains it.
-  const std::unordered_set<Var> wanted(quantifiable.begin(),
-                                       quantifiable.end());
-  std::unordered_map<Var, std::size_t> expected_at;
+  const FlatSet<Var> wanted(quantifiable.begin(), quantifiable.end());
+  FlatMap<Var, std::size_t> expected_at;
   for (std::size_t pos = 0; pos < positions.size(); ++pos) {
     for (Var v : sets[positions[pos].conjunct]) {
       if (wanted.count(v)) expected_at[v] = pos;
     }
   }
-  std::unordered_set<Var> scheduled;
+  FlatSet<Var> scheduled;
   for (std::size_t pos = 0; pos < positions.size(); ++pos) {
     for (Var v : positions[pos].quantify) {
       if (!scheduled.insert(v).second) {

@@ -7,11 +7,36 @@
 #include "core/image_engine.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace stgcheck::core {
 
 using bdd::Bdd;
 using bdd::Var;
+
+const char* to_string(Ordering ordering) {
+  switch (ordering) {
+    case Ordering::kInterleaved: return "interleaved";
+    case Ordering::kClustered: return "clustered";
+    case Ordering::kDeclaration: return "declaration";
+    case Ordering::kSignalsFirst: return "signals-first";
+    case Ordering::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::optional<Ordering> parse_ordering(std::string_view name) {
+  for (const Ordering o :
+       {Ordering::kInterleaved, Ordering::kClustered, Ordering::kDeclaration,
+        Ordering::kSignalsFirst, Ordering::kRandom}) {
+    if (names_equal_dashed(name, to_string(o))) return o;
+  }
+  return std::nullopt;
+}
+
+std::string valid_ordering_names() {
+  return "interleaved, clustered, declaration, signals-first, random";
+}
 
 SymbolicStg::SymbolicStg(const stg::Stg& stg, Ordering ordering,
                          std::size_t initial_nodes, bool with_primed_vars)

@@ -13,6 +13,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -30,6 +33,13 @@ enum class Ordering {
   kSignalsFirst,  ///< all signal variables above all place variables
   kRandom,        ///< deterministically shuffled (ablation worst case)
 };
+
+const char* to_string(Ordering ordering);
+/// Parses an ordering name as printed by to_string ('-'/'_' interchangeable);
+/// nullopt for unknown names. Shared by stg_check and the server protocol.
+std::optional<Ordering> parse_ordering(std::string_view name);
+/// Every valid ordering name, comma-separated -- for CLI/protocol errors.
+std::string valid_ordering_names();
 
 /// The symbolic encoding of one STG: owns the BDD manager, the variable
 /// map, and the per-transition characteristic cubes.

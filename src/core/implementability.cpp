@@ -34,15 +34,34 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
   const std::unique_ptr<ImageEngine> engine =
       make_engine(options.engine, sym, options.engine_options);
 
+  EventLog* events = options.events;
+  const auto verdict = [&](const char* check, bool ok, std::string detail = {}) {
+    if (events != nullptr) events->verdict(check, ok, std::move(detail));
+  };
+  const auto phase_done = [&](const char* name, double seconds) {
+    if (events != nullptr) events->phase_done(name, seconds);
+  };
+
   // ---- Phase 1: traversal + consistency (+ safeness) ----------------------
   TraversalOptions traversal_options;
   traversal_options.strategy = options.strategy;
   traversal_options.engine = options.engine;
   traversal_options.engine_options = options.engine_options;
+  traversal_options.events = events;
   report.traversal = traverse(*engine, traversal_options);
   report.safe = report.traversal.safe;
   report.consistent = report.traversal.consistent;
   report.times.traversal_consistency = phase.restart();
+  phase_done("traversal", report.times.traversal_consistency);
+  verdict("safe", report.safe, report.traversal.safeness_detail);
+  {
+    std::string detail;
+    for (const std::string& v : report.traversal.consistency_violations) {
+      if (!detail.empty()) detail += "; ";
+      detail += v;
+    }
+    verdict("consistent", report.consistent, std::move(detail));
+  }
 
   if (!report.traversal.ok()) {
     // Unsafe or inconsistent: the encoding of further checks would be
@@ -55,6 +74,10 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
 
   report.deadlock_states_count = sym.count_states(deadlock_states(sym, reached));
   report.deadlock_free = report.deadlock_states_count == 0;
+  verdict("deadlock_free", report.deadlock_free,
+          report.deadlock_free
+              ? std::string()
+              : format_count(report.deadlock_states_count) + " deadlock states");
 
   // ---- Phase 2: persistency (Fig. 6) --------------------------------------
   const bool skip_persistency =
@@ -73,12 +96,33 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
   }
   report.signal_persistent = report.persistency_violations.empty();
   report.times.persistency = phase.restart();
+  phase_done("persistency", report.times.persistency);
+  {
+    std::string detail;
+    for (const auto& v : report.persistency_violations) {
+      if (!detail.empty()) detail += "; ";
+      detail += stg.signal_name(v.victim) + " disabled by " +
+                stg.format_label(v.disabler);
+    }
+    verdict("persistent", report.signal_persistent, std::move(detail));
+  }
 
   // ---- Phase 3: determinism + commutativity via fake conflicts ------------
   report.deterministic = determinism_violations(sym, reached).is_false();
   report.fake_freedom = check_fake_freedom(*engine, reached);
   report.fake_free = report.fake_freedom.fake_free;
   report.times.commutativity = phase.restart();
+  phase_done("commutativity", report.times.commutativity);
+  verdict("deterministic", report.deterministic);
+  {
+    std::string detail;
+    for (const auto& f : report.fake_freedom.offending) {
+      if (!detail.empty()) detail += "; ";
+      detail += stg.format_label(f.t1) + " vs " + stg.format_label(f.t2) +
+                (f.symmetric_fake() ? " (symmetric)" : " (asymmetric)");
+    }
+    verdict("fake_free", report.fake_free, std::move(detail));
+  }
 
   // ---- Phase 4: CSC + reducibility ----------------------------------------
   report.csc_result = check_csc(sym, reached);
@@ -92,6 +136,24 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
   }
   report.times.csc = phase.restart();
   report.times.total = total.seconds();
+  phase_done("csc", report.times.csc);
+  verdict("usc", report.usc);
+  {
+    std::string detail;
+    for (const auto& c : report.csc_result.conflicts) {
+      if (!detail.empty()) detail += "; ";
+      detail += stg.signal_name(c.signal);
+    }
+    verdict("csc", report.csc, std::move(detail));
+  }
+  if (!report.csc) {
+    std::string detail;
+    for (stg::SignalId s : report.reducibility.irreducible_signals) {
+      if (!detail.empty()) detail += "; ";
+      detail += stg.signal_name(s);
+    }
+    verdict("csc_reducible", report.csc_reducible, std::move(detail));
+  }
 
   // ---- Verdict -------------------------------------------------------------
   const bool core_ok = report.safe && report.consistent &&

@@ -52,6 +52,10 @@ struct CheckOptions {
   /// (marked graphs are persistent by construction; the paper notes the
   /// check time is then negligible).
   bool exploit_marked_graphs = true;
+  /// When set, the checker emits typed records as it runs: traversal pass
+  /// gauges, one kPhaseDone per Table 1 column, and one kVerdict per
+  /// individual check (core/events.hpp). Not owned; null disables emission.
+  EventLog* events = nullptr;
 };
 
 struct PhaseTimes {

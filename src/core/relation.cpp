@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 
 namespace stgcheck::core {
 
@@ -31,12 +32,12 @@ void core_constraints(SymbolicStg& sym, pn::TransitionId t,
 
   const std::vector<pn::PlaceId>& pre = net.preset(t);
   const std::vector<pn::PlaceId>& post = net.postset(t);
-  const auto in_pre = [&](pn::PlaceId p) {
-    return std::find(pre.begin(), pre.end(), p) != pre.end();
-  };
-  const auto in_post = [&](pn::PlaceId p) {
-    return std::find(post.begin(), post.end(), p) != post.end();
-  };
+  // Binary-searchable membership (util/flat_map.hpp) instead of a linear
+  // std::find per query: presets of wide joins make this quadratic.
+  const FlatSet<pn::PlaceId> pre_set(pre.begin(), pre.end());
+  const FlatSet<pn::PlaceId> post_set(post.begin(), post.end());
+  const auto in_pre = [&](pn::PlaceId p) { return pre_set.contains(p); };
+  const auto in_post = [&](pn::PlaceId p) { return post_set.contains(p); };
 
   const auto touch_place = [&](pn::PlaceId p) {
     const Bdd cur = m.var(sym.place_var(p));

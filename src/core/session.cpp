@@ -1,0 +1,55 @@
+#include "core/session.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace stgcheck::core {
+
+CheckSession::CheckSession(stg::Stg stg, SessionOptions options,
+                           const Clock* clock, EventLog::Sink sink)
+    : stg_(std::move(stg)),
+      options_(std::move(options)),
+      events_(clock, std::move(sink)) {}
+
+const ImplementabilityReport& CheckSession::run() {
+  if (ran_) throw ModelError("CheckSession::run called twice");
+  ran_ = true;
+  try {
+    events_.session_start(
+        stg_.name(),
+        {{"places", static_cast<double>(stg_.net().place_count())},
+         {"transitions", static_cast<double>(stg_.net().transition_count())},
+         {"signals", static_cast<double>(stg_.signal_count())}});
+
+    const bool needs_primed = options_.check.engine != EngineKind::kCofactor;
+    sym_ = std::make_shared<SymbolicStg>(stg_, options_.check.ordering,
+                                         options_.initial_nodes, needs_primed);
+    // Encoding construction churns through intermediate conjunctions the
+    // check never revisits; re-arm the gauges so every peak the event
+    // stream reports is a peak of the check itself.
+    sym_->manager().reset_peak_stats();
+
+    CheckOptions check_options = options_.check;
+    check_options.events = &events_;
+    report_ = check_implementability(*sym_, check_options);
+    report_.encoding = sym_;  // the report's Bdd handles point into it
+
+    events_.session_done(
+        report_.level != ImplementabilityLevel::kNotImplementable,
+        to_string(report_.level),
+        {{"states", report_.traversal.stats.states},
+         {"markings", report_.traversal.stats.markings},
+         {"passes", static_cast<double>(report_.traversal.stats.passes)},
+         {"peak_live_nodes",
+          static_cast<double>(sym_->manager().peak_live_nodes())},
+         {"seconds", report_.times.total}});
+    return report_;
+  } catch (const std::exception& e) {
+    events_.error(e.what());
+    throw;
+  }
+}
+
+}  // namespace stgcheck::core

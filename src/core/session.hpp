@@ -1,0 +1,89 @@
+// One check session: everything one implementability check needs, owned
+// together, shared with nothing.
+//
+// The paper's tool was one-shot -- build an encoding, traverse, print,
+// exit -- so PRs 1-6 could keep options, engines and gauges wherever was
+// convenient. A resident server multiplexing many nets cannot: two checks
+// running concurrently must not see each other's BDD manager, image
+// engine, peak gauges or event log. CheckSession is that ownership
+// boundary. It holds
+//
+//   * the parsed STG (by value -- the session outlives its source text),
+//   * the SymbolicStg encoding, which owns the session's private
+//     bdd::Manager (created in run(), so a queued session costs nothing
+//     until a scheduler thread picks it up),
+//   * the resolved SessionOptions,
+//   * the EventLog (core/events.hpp) every stage reports into, stamped by
+//     an injected clock and optionally streamed record-by-record.
+//
+// Isolation rule: a session never shares mutable state with another
+// session. The manager, engines, caches and gauges are all per-session;
+// the only cross-session objects are immutable (the source STG text) or
+// explicitly synchronized by their owner (a streaming sink shared by a
+// server connection). One thread runs one session start to finish --
+// nothing here locks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/events.hpp"
+#include "core/implementability.hpp"
+#include "stg/stg.hpp"
+
+namespace stgcheck::core {
+
+struct SessionOptions {
+  /// Everything check_implementability takes, minus the event log (the
+  /// session injects its own).
+  CheckOptions check;
+  /// Initial node capacity of the session's manager.
+  std::size_t initial_nodes = 1 << 14;
+};
+
+/// Owns one check end to end. Construct (cheap), then run() on whichever
+/// thread the scheduler assigns; read the report and the event records
+/// afterwards. Not copyable or movable: the encoding's Bdd handles point
+/// into the session's manager.
+class CheckSession {
+ public:
+  /// `clock` is borrowed and may be shared across sessions (it is only
+  /// read); null means "own steady clock starting now". `sink`, when set,
+  /// receives every event record at emission on the session's thread.
+  explicit CheckSession(stg::Stg stg, SessionOptions options = {},
+                        const Clock* clock = nullptr,
+                        EventLog::Sink sink = nullptr);
+
+  CheckSession(const CheckSession&) = delete;
+  CheckSession& operator=(const CheckSession&) = delete;
+
+  const stg::Stg& stg() const { return stg_; }
+  const SessionOptions& options() const { return options_; }
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
+
+  /// Runs the full check pipeline: emits kSessionStart, builds the
+  /// encoding (primed variables iff the selected engine needs them),
+  /// re-arms the manager's peak gauges so they measure the check rather
+  /// than encoding construction, runs check_implementability with the
+  /// session's event log wired through, and emits kSessionDone. On any
+  /// exception a kError record is emitted and the exception rethrown.
+  /// Call at most once.
+  const ImplementabilityReport& run();
+
+  bool has_run() const { return ran_; }
+  /// Valid after run() returned.
+  const ImplementabilityReport& report() const { return report_; }
+  /// Valid after run() started building the encoding; null before.
+  SymbolicStg* encoding() { return sym_.get(); }
+
+ private:
+  stg::Stg stg_;
+  SessionOptions options_;
+  EventLog events_;
+  std::shared_ptr<SymbolicStg> sym_;
+  ImplementabilityReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace stgcheck::core

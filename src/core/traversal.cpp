@@ -2,9 +2,34 @@
 
 #include <algorithm>
 
+#include "util/strings.hpp"
+
 namespace stgcheck::core {
 
 using bdd::Bdd;
+
+const char* to_string(TraversalStrategy strategy) {
+  switch (strategy) {
+    case TraversalStrategy::kChaining: return "chaining";
+    case TraversalStrategy::kFrontierBfs: return "bfs";
+    case TraversalStrategy::kFullFixpoint: return "fixpoint";
+  }
+  return "?";
+}
+
+std::optional<TraversalStrategy> parse_traversal_strategy(
+    std::string_view name) {
+  for (const TraversalStrategy s :
+       {TraversalStrategy::kChaining, TraversalStrategy::kFrontierBfs,
+        TraversalStrategy::kFullFixpoint}) {
+    if (names_equal_dashed(name, to_string(s))) return s;
+  }
+  return std::nullopt;
+}
+
+std::string valid_traversal_strategy_names() {
+  return "chaining, bfs, fixpoint";
+}
 
 namespace {
 
@@ -152,6 +177,11 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
     ++result.stats.image_computations;
     track_peak(reached);
     maintain();
+    if (options.events != nullptr) {
+      options.events->pass(result.stats.passes, result.stats.image_computations,
+                           sym.manager().live_nodes(),
+                           sym.manager().peak_live_nodes());
+    }
     if (options.check_consistency) {
       check_consistency_on(sym, reached, result);
     }
@@ -233,6 +263,12 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
 
       track_peak(reached);
       maintain();
+      if (options.events != nullptr) {
+        options.events->pass(result.stats.passes,
+                             result.stats.image_computations,
+                             sym.manager().live_nodes(),
+                             sym.manager().peak_live_nodes());
+      }
 
       if (pass_new.is_false()) break;  // fixed point
       from = pass_new;
@@ -254,6 +290,20 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
   result.stats.states = sym.count_states(reached);
   result.stats.markings = sym.count_markings(reached);
   result.stats.seconds = watch.seconds();
+  if (options.events != nullptr) {
+    options.events->traversal_done(
+        {{"passes", static_cast<double>(result.stats.passes)},
+         {"image_computations",
+          static_cast<double>(result.stats.image_computations)},
+         {"peak_reached_nodes",
+          static_cast<double>(result.stats.peak_reached_nodes)},
+         {"final_reached_nodes",
+          static_cast<double>(result.stats.final_reached_nodes)},
+         {"states", result.stats.states},
+         {"markings", result.stats.markings},
+         {"peak_live_nodes", static_cast<double>(sym.manager().peak_live_nodes())},
+         {"seconds", result.stats.seconds}});
+  }
   return result;
 }
 

@@ -14,10 +14,13 @@
 #pragma once
 
 #include <algorithm>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/encoding.hpp"
+#include "core/events.hpp"
 #include "core/image_engine.hpp"
 #include "util/stopwatch.hpp"
 
@@ -37,6 +40,13 @@ enum class TraversalStrategy {
   /// robust, most redundant work; the ablation baseline.
   kFullFixpoint,
 };
+
+const char* to_string(TraversalStrategy strategy);
+/// Parses a strategy name as printed by to_string ('-'/'_' interchangeable);
+/// nullopt for unknown names. Shared by stg_check and the server protocol.
+std::optional<TraversalStrategy> parse_traversal_strategy(std::string_view name);
+/// Every valid strategy name, comma-separated -- for CLI/protocol errors.
+std::string valid_traversal_strategy_names();
 
 struct TraversalOptions {
   TraversalStrategy strategy = TraversalStrategy::kChaining;
@@ -69,6 +79,11 @@ struct TraversalOptions {
   /// shape under it; repeating lets blocks react to their neighbours' new
   /// positions at the cost of extra reorder time.
   bool sift_converged = false;
+  /// When set, the traversal emits one kPass record per outer pass and a
+  /// kTraversalDone record with the final stats (core/events.hpp). Not
+  /// owned; typically the CheckSession's log. Null disables emission --
+  /// the benches and the paper-style CLI path pay nothing.
+  EventLog* events = nullptr;
 };
 
 /// The between-pass maintenance trigger: collect garbage -- and, with

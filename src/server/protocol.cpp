@@ -1,0 +1,247 @@
+#include "server/protocol.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace stgcheck::server {
+
+using core::EventRecord;
+using core::ImplementabilityReport;
+using json::Value;
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ModelError("protocol: " + what);
+}
+
+std::string string_member(const Value& obj, std::string_view key,
+                          bool required) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) {
+    if (required) bad("missing required member '" + std::string(key) + "'");
+    return {};
+  }
+  return v->as_string();
+}
+
+CheckRequest parse_check_entry(const Value& obj,
+                               const core::SessionOptions& defaults) {
+  CheckRequest check;
+  check.id = string_member(obj, "id", false);
+  check.net_text = string_member(obj, "net", true);
+  const Value* options = obj.find("options");
+  check.options =
+      options != nullptr ? parse_session_options(*options) : defaults;
+  return check;
+}
+
+}  // namespace
+
+core::SessionOptions parse_session_options(const json::Value& obj) {
+  core::SessionOptions options;
+  for (const auto& [key, value] : obj.as_object()) {
+    if (key == "ordering") {
+      const auto o = core::parse_ordering(value.as_string());
+      if (!o) {
+        bad("unknown ordering '" + value.as_string() + "' (valid: " +
+            core::valid_ordering_names() + ")");
+      }
+      options.check.ordering = *o;
+    } else if (key == "strategy") {
+      const auto s = core::parse_traversal_strategy(value.as_string());
+      if (!s) {
+        bad("unknown strategy '" + value.as_string() + "' (valid: " +
+            core::valid_traversal_strategy_names() + ")");
+      }
+      options.check.strategy = *s;
+    } else if (key == "engine") {
+      const auto e = core::parse_engine_kind(value.as_string());
+      if (!e) {
+        bad("unknown engine '" + value.as_string() + "' (valid: " +
+            core::valid_engine_kind_names() + ")");
+      }
+      options.check.engine = *e;
+    } else if (key == "schedule") {
+      const auto s = core::parse_schedule_kind(value.as_string());
+      if (!s) {
+        bad("unknown schedule '" + value.as_string() + "' (valid: " +
+            core::valid_schedule_kind_names() + ")");
+      }
+      options.check.engine_options.schedule = *s;
+    } else if (key == "initial_nodes") {
+      const double n = value.as_number();
+      if (n < 1 || n != std::floor(n)) bad("initial_nodes must be a positive integer");
+      options.initial_nodes = static_cast<std::size_t>(n);
+    } else {
+      bad("unknown option '" + key + "'");
+    }
+  }
+  return options;
+}
+
+Request parse_request(const std::string& line) {
+  const Value doc = Value::parse(line);
+  const std::string op = doc.at("op").as_string();
+  Request request;
+  if (op == "ping") {
+    request.op = Request::Op::kPing;
+  } else if (op == "status") {
+    request.op = Request::Op::kStatus;
+  } else if (op == "shutdown") {
+    request.op = Request::Op::kShutdown;
+  } else if (op == "check") {
+    request.op = Request::Op::kCheck;
+    request.checks.push_back(parse_check_entry(doc, core::SessionOptions{}));
+  } else if (op == "batch") {
+    request.op = Request::Op::kBatch;
+    request.batch_id = string_member(doc, "id", false);
+    const Value* options = doc.find("options");
+    const core::SessionOptions defaults = options != nullptr
+                                              ? parse_session_options(*options)
+                                              : core::SessionOptions{};
+    const Value* nets = doc.find("nets");
+    if (nets == nullptr) bad("batch needs a 'nets' array");
+    for (const Value& entry : nets->as_array()) {
+      request.checks.push_back(parse_check_entry(entry, defaults));
+    }
+  } else {
+    bad("unknown op '" + op + "'");
+  }
+  return request;
+}
+
+json::Value event_to_json(const EventRecord& record) {
+  Value obj = Value::object();
+  obj.set("event", Value(std::string(core::to_string(record.kind))));
+  obj.set("at", Value(record.at));
+  if (!record.label.empty()) obj.set("label", Value(record.label));
+  if (record.has_ok) obj.set("ok", Value(record.ok));
+  if (!record.detail.empty()) obj.set("detail", Value(record.detail));
+  if (!record.metrics.empty()) {
+    Value metrics = Value::object();
+    for (const auto& [name, value] : record.metrics) {
+      metrics.set(name, Value(value));
+    }
+    obj.set("metrics", std::move(metrics));
+  }
+  return obj;
+}
+
+std::string event_line(const std::string& session_id,
+                       const EventRecord& record) {
+  Value obj = Value::object();
+  obj.set("session", Value(session_id));
+  Value event = event_to_json(record);  // named: the loop borrows its members
+  for (auto& [key, value] : event.as_object()) {
+    obj.set(key, std::move(value));
+  }
+  return obj.dump();
+}
+
+json::Value report_to_json(const stg::Stg& stg,
+                           const ImplementabilityReport& report) {
+  Value obj = Value::object();
+  obj.set("name", Value(stg.name()));
+  obj.set("level", Value(core::to_string(report.level)));
+
+  Value verdicts = Value::object();
+  verdicts.set("safe", Value(report.safe));
+  verdicts.set("consistent", Value(report.consistent));
+  verdicts.set("deadlock_free", Value(report.deadlock_free));
+  verdicts.set("persistent", Value(report.signal_persistent));
+  verdicts.set("deterministic", Value(report.deterministic));
+  verdicts.set("fake_free", Value(report.fake_free));
+  verdicts.set("usc", Value(report.usc));
+  verdicts.set("csc", Value(report.csc));
+  verdicts.set("csc_reducible", Value(report.csc_reducible));
+  obj.set("verdicts", std::move(verdicts));
+
+  const core::TraversalStats& stats = report.traversal.stats;
+  Value traversal = Value::object();
+  traversal.set("states", Value(stats.states));
+  traversal.set("markings", Value(stats.markings));
+  traversal.set("passes", Value(stats.passes));
+  traversal.set("image_computations", Value(stats.image_computations));
+  traversal.set("peak_reached_nodes", Value(stats.peak_reached_nodes));
+  traversal.set("final_reached_nodes", Value(stats.final_reached_nodes));
+  traversal.set("complete", Value(report.traversal.complete));
+  obj.set("traversal", std::move(traversal));
+
+  obj.set("deadlock_states", Value(report.deadlock_states_count));
+
+  Value violations = Value::object();
+  if (!report.traversal.safeness_detail.empty()) {
+    violations.set("safeness", Value(report.traversal.safeness_detail));
+  }
+  if (!report.traversal.consistency_violations.empty()) {
+    Value list = Value::array();
+    for (const std::string& v : report.traversal.consistency_violations) {
+      list.push_back(Value(v));
+    }
+    violations.set("consistency", std::move(list));
+  }
+  if (!report.persistency_violations.empty()) {
+    Value list = Value::array();
+    for (const auto& v : report.persistency_violations) {
+      list.push_back(Value(stg.signal_name(v.victim) + " disabled by " +
+                           stg.format_label(v.disabler)));
+    }
+    violations.set("persistency", std::move(list));
+  }
+  if (!report.fake_freedom.offending.empty()) {
+    Value list = Value::array();
+    for (const auto& f : report.fake_freedom.offending) {
+      list.push_back(Value(stg.format_label(f.t1) + " vs " +
+                           stg.format_label(f.t2) +
+                           (f.symmetric_fake() ? " (symmetric)"
+                                               : " (asymmetric)")));
+    }
+    violations.set("fake_conflicts", std::move(list));
+  }
+  if (!report.csc_result.conflicts.empty()) {
+    Value list = Value::array();
+    for (const auto& c : report.csc_result.conflicts) {
+      list.push_back(Value(stg.signal_name(c.signal)));
+    }
+    violations.set("csc_conflicts", std::move(list));
+  }
+  if (!report.reducibility.irreducible_signals.empty()) {
+    Value list = Value::array();
+    for (const stg::SignalId s : report.reducibility.irreducible_signals) {
+      list.push_back(Value(stg.signal_name(s)));
+    }
+    violations.set("irreducible", std::move(list));
+  }
+  if (!report.traversal.unbound_signals.empty()) {
+    Value list = Value::array();
+    for (const stg::SignalId s : report.traversal.unbound_signals) {
+      list.push_back(Value(stg.signal_name(s)));
+    }
+    violations.set("unbound_signals", std::move(list));
+  }
+  obj.set("violations", std::move(violations));
+
+  Value times = Value::object();
+  times.set("traversal_consistency", Value(report.times.traversal_consistency));
+  times.set("persistency", Value(report.times.persistency));
+  times.set("commutativity", Value(report.times.commutativity));
+  times.set("csc", Value(report.times.csc));
+  times.set("total", Value(report.times.total));
+  obj.set("times", std::move(times));
+
+  return obj;
+}
+
+std::string error_line(const std::string& message,
+                       const std::string& session_id) {
+  Value obj = Value::object();
+  obj.set("reply", Value(std::string("error")));
+  if (!session_id.empty()) obj.set("session", Value(session_id));
+  obj.set("message", Value(message));
+  return obj.dump();
+}
+
+}  // namespace stgcheck::server

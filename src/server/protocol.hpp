@@ -1,0 +1,74 @@
+// The stg_checkd wire protocol: line-delimited JSON over a local stream
+// socket, and the JSON renderings shared by the daemon and `stg_check
+// --json` (so the one-shot tool and the server emit field-for-field the
+// same records). The schema is documented in docs/architecture.md.
+//
+// Requests (one JSON object per line):
+//   {"op":"ping"}
+//   {"op":"status"}
+//   {"op":"check","id":"...","net":"<.g text>","options":{...}}
+//   {"op":"batch","id":"...","nets":[{"id":"...","net":"..."},...],
+//    "options":{...}}
+//   {"op":"shutdown"}
+//
+// Options object (all members optional; unknown keys are rejected so
+// typos fail loudly instead of silently running defaults):
+//   {"ordering":"interleaved","strategy":"chaining","engine":"cofactor",
+//    "schedule":"none","initial_nodes":16384}
+//
+// Responses are one JSON object per line. Control replies carry "reply"
+// ("pong", "status", "accepted", "result", "batch_done", "error",
+// "bye"); streamed event records carry "session" + "event" instead (see
+// event_to_json). A check produces: one "accepted", the event stream,
+// then one "result" with either "report" or "error".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "util/json.hpp"
+
+namespace stgcheck::server {
+
+/// One net to check, plus its session options.
+struct CheckRequest {
+  std::string id;        ///< empty = server assigns one
+  std::string net_text;  ///< .g / astg source
+  core::SessionOptions options;
+};
+
+struct Request {
+  enum class Op { kPing, kStatus, kCheck, kBatch, kShutdown };
+  Op op = Op::kPing;
+  std::vector<CheckRequest> checks;  ///< kCheck: exactly 1; kBatch: >= 0
+  std::string batch_id;              ///< kBatch; empty = server assigns
+};
+
+/// Parses one request line. Throws (ParseError for malformed JSON,
+/// ModelError for schema violations) with a message fit for an error
+/// reply.
+Request parse_request(const std::string& line);
+
+/// Parses the "options" object (see file comment). Unknown keys throw.
+core::SessionOptions parse_session_options(const json::Value& obj);
+
+/// One event record as a JSON object: {"event":kind,"at":seconds} plus,
+/// when present, "label", "ok", "detail" and a "metrics" object (empty
+/// members are omitted).
+json::Value event_to_json(const core::EventRecord& record);
+/// The same with a leading "session" member -- the daemon's streamed form.
+std::string event_line(const std::string& session_id,
+                       const core::EventRecord& record);
+
+/// The full report as JSON -- every fact ImplementabilityReport::summary
+/// prints, as typed fields. Shared verbatim by `stg_check --json` and the
+/// daemon's "result" reply.
+json::Value report_to_json(const stg::Stg& stg,
+                           const core::ImplementabilityReport& report);
+
+/// {"reply":"error","message":...} with an optional "session" member.
+std::string error_line(const std::string& message,
+                       const std::string& session_id = {});
+
+}  // namespace stgcheck::server

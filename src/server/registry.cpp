@@ -1,0 +1,85 @@
+#include "server/registry.hpp"
+
+namespace stgcheck::server {
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued: return "queued";
+    case SessionState::kRunning: return "running";
+    case SessionState::kDone: return "done";
+    case SessionState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string SessionRegistry::unique_id() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (;;) {
+    std::string id = "s" + std::to_string(++next_id_);
+    if (entries_.find(id) == entries_.end()) return id;
+  }
+}
+
+core::CheckSession* SessionRegistry::add(
+    const std::string& id, std::unique_ptr<core::CheckSession> session) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.try_emplace(id);
+  if (!inserted) return nullptr;
+  it->second.session = std::move(session);
+  return it->second.session.get();
+}
+
+void SessionRegistry::mark_running(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.state = SessionState::kRunning;
+}
+
+void SessionRegistry::finish(const std::string& id, SessionState state,
+                             std::string error) {
+  std::unique_ptr<core::CheckSession> released;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    it->second.state = state;
+    it->second.error = std::move(error);
+    released = std::move(it->second.session);
+  }
+  // The session (and its BDD manager) is destroyed outside the lock:
+  // tearing down a large manager is not cheap enough to serialize the
+  // whole registry behind.
+}
+
+std::optional<SessionInfo> SessionRegistry::info(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return SessionInfo{id, it->second.state, it->second.error};
+}
+
+std::vector<SessionInfo> SessionRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionInfo> result;
+  result.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    result.push_back({id, entry.state, entry.error});
+  }
+  return result;
+}
+
+RegistryCounts SessionRegistry::counts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegistryCounts c;
+  for (const auto& [id, entry] : entries_) {
+    switch (entry.state) {
+      case SessionState::kQueued: ++c.queued; break;
+      case SessionState::kRunning: ++c.running; break;
+      case SessionState::kDone: ++c.done; break;
+      case SessionState::kFailed: ++c.failed; break;
+    }
+  }
+  return c;
+}
+
+}  // namespace stgcheck::server

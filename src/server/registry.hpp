@@ -1,0 +1,85 @@
+// The daemon's session registry: id -> (session, lifecycle state).
+//
+// Every check the server accepts gets an entry here for its whole
+// lifecycle (queued -> running -> done/failed). The registry is the only
+// structure connection threads and scheduler threads both touch, so it is
+// the one place in the server that locks around session bookkeeping; the
+// sessions themselves stay single-threaded (core/session.hpp).
+//
+// Memory: a finished CheckSession holds its report, which keeps the whole
+// BDD manager of the net alive. A resident daemon serving thousands of
+// nets cannot retain that, so the server calls finish() as soon as the
+// result line has been written: the entry keeps its state and error text
+// (for the status op) but the session -- manager and all -- is freed.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace stgcheck::server {
+
+enum class SessionState { kQueued, kRunning, kDone, kFailed };
+
+const char* to_string(SessionState state);
+
+struct SessionInfo {
+  std::string id;
+  SessionState state = SessionState::kQueued;
+  std::string error;  ///< what() of the failure (kFailed only)
+};
+
+struct RegistryCounts {
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t total() const { return queued + running + done + failed; }
+};
+
+/// Thread-safe id -> session table. Ids are client-chosen or generated
+/// ("s1", "s2", ...); entries are never removed, only their sessions are
+/// released, so an id can never be reused within one server lifetime.
+class SessionRegistry {
+ public:
+  /// A fresh never-used generated id.
+  std::string unique_id();
+
+  /// Registers a queued session under `id`. Returns the raw session
+  /// pointer (owned by the registry until finish()), or nullptr if the id
+  /// is already taken.
+  core::CheckSession* add(const std::string& id,
+                          std::unique_ptr<core::CheckSession> session);
+
+  /// Marks `id` running (scheduler picked it up).
+  void mark_running(const std::string& id);
+
+  /// Marks `id` done or failed and frees its session (see file comment).
+  void finish(const std::string& id, SessionState state,
+              std::string error = {});
+
+  std::optional<SessionInfo> info(const std::string& id) const;
+  /// All entries in id order.
+  std::vector<SessionInfo> list() const;
+  RegistryCounts counts() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<core::CheckSession> session;
+    SessionState state = SessionState::kQueued;
+    std::string error;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // ordered: list() is deterministic
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace stgcheck::server

@@ -1,0 +1,104 @@
+// Minimal JSON value for the check-server protocol (server/protocol.hpp)
+// and stg_check --json: the daemon speaks line-delimited JSON over a local
+// socket, so all this needs is a faithful parse/dump pair with no external
+// dependencies -- null/bool/number/string/array/object, compact one-line
+// output, and parse errors reported as stgcheck::ParseError with a line
+// number.
+//
+// Deliberate simplifications (documented, not accidental):
+//   * numbers are IEEE doubles (the protocol's counts are doubles already;
+//     54-bit integers round-trip exactly);
+//   * objects preserve insertion order and allow duplicate keys on parse
+//     (find() returns the first) -- the protocol never emits duplicates;
+//   * dump() escapes control characters and emits non-ASCII bytes
+//     verbatim (valid UTF-8 in, valid UTF-8 out).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stgcheck::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double n) : type_(Type::kNumber), number_(n) {}
+  Value(int n) : type_(Type::kNumber), number_(n) {}
+  Value(long n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(unsigned n) : type_(Type::kNumber), number_(n) {}
+  Value(unsigned long n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(unsigned long long n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::kString), string_(s) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+  Value(Array a) : type_(Type::kArray), array_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw ModelError on a type mismatch (protocol errors
+  // surface as error events, never as crashes).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  // ---- Object helpers ----------------------------------------------------
+
+  /// Appends a key/value member (the caller guarantees key uniqueness).
+  Value& set(std::string key, Value value);
+  /// First member named `key`, or nullptr. Works only on objects (nullptr
+  /// on every other type, so optional fields read naturally).
+  const Value* find(std::string_view key) const;
+  /// Like find() but throws ModelError when the member is missing.
+  const Value& at(std::string_view key) const;
+
+  // ---- Array helpers -----------------------------------------------------
+
+  void push_back(Value value);
+
+  // ---- Serialization -----------------------------------------------------
+
+  /// Compact single-line JSON.
+  std::string dump() const;
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  /// Throws stgcheck::ParseError with a 1-based line number on malformed
+  /// input.
+  static Value parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Appends the JSON escaping of `s` (with surrounding quotes) to `out`.
+void append_quoted(std::string& out, std::string_view s);
+
+}  // namespace stgcheck::json

@@ -190,6 +190,31 @@ TEST(BddBasic, StatsReportVariablesAndNodes) {
   (void)f;
 }
 
+TEST(BddBasic, ResetPeakStatsRearmsToCurrentLive) {
+  Manager m;
+  Bdd a = m.new_var("a");
+  Bdd b = m.new_var("b");
+  Bdd c = m.new_var("c");
+  {
+    Bdd big = (a & b) | (b & c) | (a ^ c);  // transient peak
+  }
+  m.collect_garbage();
+  const std::size_t live = m.live_nodes();
+  ASSERT_GT(m.peak_live_nodes(), live);  // the peak outlived its nodes
+
+  // A batch-style re-arm: both gauges drop to the current live count, so
+  // the next check's peaks are its own, not an inherited high-water mark.
+  m.reset_peak_stats();
+  EXPECT_EQ(m.peak_live_nodes(), live);
+  EXPECT_EQ(m.window_peak_live(), live);
+
+  // And they rise again from there.
+  Bdd f = (a & b) | (b & c);
+  EXPECT_GE(m.peak_live_nodes(), m.live_nodes());
+  EXPECT_GT(m.peak_live_nodes(), live);
+  (void)f;
+}
+
 TEST(BddBasic, NodeCountOfSharedGraph) {
   Manager m;
   Bdd a = m.new_var("a");

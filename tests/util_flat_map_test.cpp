@@ -1,0 +1,101 @@
+// Sorted-vector FlatMap/FlatSet: STL-compatible surface, sorted iteration,
+// first-wins one-shot construction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/flat_map.hpp"
+
+namespace stgcheck {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.insert({3, "c"}).second);
+  EXPECT_TRUE(m.insert({1, "a"}).second);
+  EXPECT_FALSE(m.insert({3, "x"}).second);  // duplicate key: keeps "c"
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_TRUE(m.contains(3));
+  EXPECT_EQ(m.find(3)->second, "c");
+  EXPECT_EQ(m.count(2), 0u);
+  EXPECT_EQ(m.erase(3), 1u);
+  EXPECT_EQ(m.erase(3), 0u);
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, SubscriptDefaultConstructsAtSortedPosition) {
+  FlatMap<int, int> m;
+  m[5] = 50;
+  m[1] = 10;
+  EXPECT_EQ(m[3], 0);  // inserted between 1 and 5
+  m[5] = 55;           // overwrite through the reference
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(m.at(5), 55);
+}
+
+TEST(FlatMap, IterationIsKeySorted) {
+  FlatMap<int, int> m;
+  for (int k : {9, 2, 7, 4, 0}) m.insert({k, k * k});
+  int prev = -1;
+  for (const auto& [k, v] : m) {
+    EXPECT_GT(k, prev);
+    EXPECT_EQ(v, k * k);
+    prev = k;
+  }
+}
+
+TEST(FlatMap, RangeConstructionFirstOccurrenceWins) {
+  // Matches std::map insert semantics for duplicate keys, which the
+  // one-shot call sites (relation.cpp) rely on.
+  const std::vector<std::pair<int, std::string>> src{
+      {2, "first"}, {1, "one"}, {2, "second"}, {2, "third"}};
+  const FlatMap<int, std::string> m(src.begin(), src.end());
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(1), "one");
+  EXPECT_EQ(m.at(2), "first");
+}
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet<int> s;
+  EXPECT_TRUE(s.insert(4).second);
+  EXPECT_TRUE(s.insert(2).second);
+  EXPECT_FALSE(s.insert(4).second);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.erase(2), 1u);
+  EXPECT_EQ(s.erase(2), 0u);
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(FlatSet, RangeConstructionSortsAndUniques) {
+  const std::vector<int> src{5, 1, 5, 3, 1, 1};
+  const FlatSet<int> s(src.begin(), src.end());
+  EXPECT_EQ(s.values(), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(FlatSet, RangeInsertMerges) {
+  FlatSet<int> s;
+  const std::vector<int> a{3, 1};
+  const std::vector<int> b{2, 3, 4};
+  s.insert(a.begin(), a.end());
+  s.insert(b.begin(), b.end());
+  EXPECT_EQ(s.values(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(FlatSet, CustomComparator) {
+  FlatSet<int, std::greater<int>> s;
+  for (int k : {1, 3, 2}) s.insert(k);
+  EXPECT_EQ(s.values(), (std::vector<int>{3, 2, 1}));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(4));
+}
+
+}  // namespace
+}  // namespace stgcheck

@@ -1,0 +1,107 @@
+// The protocol JSON value: parse/dump round-trips, escaping, typed-access
+// errors and the documented simplifications (first-duplicate wins, integer
+// formatting of integral doubles).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace stgcheck::json {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_EQ(Value::parse("true").as_bool(), true);
+  EXPECT_EQ(Value::parse("false").as_bool(), false);
+  EXPECT_EQ(Value::parse("42").as_number(), 42.0);
+  EXPECT_EQ(Value::parse("-2.5e1").as_number(), -25.0);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParseNestedDocument) {
+  const Value doc = Value::parse(
+      R"({"op":"batch","nets":[{"id":"a","n":1},{"id":"b","n":2}],"ok":true})");
+  EXPECT_EQ(doc.at("op").as_string(), "batch");
+  const Array& nets = doc.at("nets").as_array();
+  ASSERT_EQ(nets.size(), 2u);
+  EXPECT_EQ(nets[1].at("id").as_string(), "b");
+  EXPECT_EQ(nets[1].at("n").as_number(), 2.0);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+}
+
+TEST(Json, DumpParsesBack) {
+  Value obj = Value::object();
+  obj.set("name", Value(std::string("muller")));
+  obj.set("count", Value(32));
+  obj.set("ratio", Value(0.5));
+  obj.set("flag", Value(true));
+  Value list = Value::array();
+  list.push_back(Value(1));
+  list.push_back(Value(std::string("two")));
+  list.push_back(Value());
+  obj.set("list", std::move(list));
+
+  const Value back = Value::parse(obj.dump());
+  EXPECT_EQ(back.at("name").as_string(), "muller");
+  EXPECT_EQ(back.at("count").as_number(), 32.0);
+  EXPECT_EQ(back.at("ratio").as_number(), 0.5);
+  EXPECT_TRUE(back.at("flag").as_bool());
+  ASSERT_EQ(back.at("list").as_array().size(), 3u);
+  EXPECT_TRUE(back.at("list").as_array()[2].is_null());
+}
+
+TEST(Json, IntegralDoublesDumpWithoutFraction) {
+  // Counts (states, passes, node gauges) must read as integers on the wire.
+  EXPECT_EQ(Value(32).dump(), "32");
+  EXPECT_EQ(Value(32.0).dump(), "32");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_NE(Value(0.25).dump().find('.'), std::string::npos);
+}
+
+TEST(Json, StringEscapingRoundTrips) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const Value back = Value::parse(Value(nasty).dump());
+  EXPECT_EQ(back.as_string(), nasty);
+}
+
+TEST(Json, ParseUnicodeEscapes) {
+  // é = U+00E9 (two UTF-8 bytes).
+  EXPECT_EQ(Value::parse("\"caf\\u00e9\"").as_string(), "caf\xc3\xa9");
+}
+
+TEST(Json, DuplicateKeysFirstWins) {
+  const Value doc = Value::parse(R"({"k":1,"k":2})");
+  ASSERT_NE(doc.find("k"), nullptr);
+  EXPECT_EQ(doc.find("k")->as_number(), 1.0);
+}
+
+TEST(Json, FindOnNonObjectIsNull) {
+  EXPECT_EQ(Value(3).find("x"), nullptr);
+  EXPECT_EQ(Value::parse("[1,2]").find("x"), nullptr);
+}
+
+TEST(Json, TypeMismatchThrowsModelError) {
+  const Value v = Value::parse("\"text\"");
+  EXPECT_THROW(v.as_number(), ModelError);
+  EXPECT_THROW(v.as_array(), ModelError);
+  EXPECT_THROW(v.at("missing"), ModelError);
+  EXPECT_THROW(Value::parse("{}").at("missing"), ModelError);
+}
+
+TEST(Json, MalformedInputThrowsParseError) {
+  EXPECT_THROW(Value::parse(""), ParseError);
+  EXPECT_THROW(Value::parse("{"), ParseError);
+  EXPECT_THROW(Value::parse("[1,]"), ParseError);
+  EXPECT_THROW(Value::parse("\"unterminated"), ParseError);
+  EXPECT_THROW(Value::parse("tru"), ParseError);
+  EXPECT_THROW(Value::parse("1 2"), ParseError);  // trailing garbage
+}
+
+TEST(Json, TrailingWhitespaceAllowed) {
+  EXPECT_EQ(Value::parse("7 \n\t").as_number(), 7.0);
+}
+
+}  // namespace
+}  // namespace stgcheck::json
