@@ -18,6 +18,12 @@
 //                       back to none when its relation is cheap to build)
 //     --threads   N     BDD kernel worker threads (1 = exact sequential
 //                       kernel, bit-identical results at any count)
+//     --initial-nodes N   initial node capacity of the BDD manager
+//     --max-live-nodes N  resource budget: live-node cap (0 = unlimited)
+//     --max-seconds   S   resource budget: wall-clock deadline
+//     --max-steps     N   resource budget: pass/saturation-step cap
+//                       (a tripped budget ends the check with a typed
+//                       resource_exhausted record and exit status 3)
 //     --json            machine-readable output: one JSON document with
 //                       the typed event records and the full report
 //                       (field-for-field the facts of the human summary;
@@ -29,7 +35,12 @@
 //     --write-back      echo the parsed STG in .g format (round-trip check)
 //
 // Exit status: 0 if the STG is gate- or I/O-implementable, 2 otherwise,
-// 1 on usage or parse errors.
+// 3 if a resource budget tripped before a verdict, 1 on usage or parse
+// errors.
+//
+// All configuration flags are owned by core::CheckConfig::consume_flag
+// -- the same parse path the daemon's "options" object uses -- so the
+// CLI and the wire can never drift apart.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -37,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/session.hpp"
 #include "logic/logic.hpp"
 #include "server/protocol.hpp"
@@ -58,6 +70,10 @@ void usage() {
       "  --engine    E     cofactor | monolithic | partitioned | saturation\n"
       "  --schedule  C     none | support-overlap | bounded-lookahead\n"
       "  --threads   N     BDD kernel worker threads (1 = sequential)\n"
+      "  --initial-nodes N   initial BDD manager capacity\n"
+      "  --max-live-nodes N  budget: live-node cap (0 = unlimited)\n"
+      "  --max-seconds   S   budget: wall-clock deadline\n"
+      "  --max-steps     N   budget: pass/saturation-step cap\n"
       "  --json            machine-readable event records + report\n"
       "  --equations       derive and print the complex-gate netlist\n"
       "  --explain         print firing-trace witnesses for violations\n"
@@ -79,72 +95,18 @@ int main(int argc, char** argv) {
   bool write_back = false;
   std::string path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next_arg = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage();
-        std::exit(1);
-      }
-      return argv[++i];
-    };
-    if (arg == "--arbitrate") {
-      const std::string pair = next_arg();
-      const std::size_t comma = pair.find(',');
-      if (comma == std::string::npos) {
-        std::fprintf(stderr, "--arbitrate expects A,B got %s\n", pair.c_str());
-        return 1;
-      }
-      options.check.arbitration_pairs.push_back(
-          {pair.substr(0, comma), pair.substr(comma + 1)});
-    } else if (arg == "--ordering") {
-      const std::string o = next_arg();
-      const std::optional<core::Ordering> ordering = core::parse_ordering(o);
-      if (!ordering.has_value()) {
-        std::fprintf(stderr, "unknown ordering '%s' (valid: %s)\n", o.c_str(),
-                     core::valid_ordering_names().c_str());
-        return 1;
-      }
-      options.check.ordering = *ordering;
-    } else if (arg == "--strategy") {
-      const std::string s = next_arg();
-      const std::optional<core::TraversalStrategy> strategy =
-          core::parse_traversal_strategy(s);
-      if (!strategy.has_value()) {
-        std::fprintf(stderr, "unknown strategy '%s' (valid: %s)\n", s.c_str(),
-                     core::valid_traversal_strategy_names().c_str());
-        return 1;
-      }
-      options.check.strategy = *strategy;
-    } else if (arg == "--engine") {
-      const std::string e = next_arg();
-      const std::optional<core::EngineKind> kind = core::parse_engine_kind(e);
-      if (!kind.has_value()) {
-        std::fprintf(stderr, "unknown engine '%s' (valid: %s)\n", e.c_str(),
-                     core::valid_engine_kind_names().c_str());
-        return 1;
-      }
-      options.check.engine = *kind;
-    } else if (arg == "--schedule") {
-      const std::string c = next_arg();
-      const std::optional<core::ScheduleKind> kind =
-          core::parse_schedule_kind(c);
-      if (!kind.has_value()) {
-        std::fprintf(stderr, "unknown schedule '%s' (valid: %s)\n", c.c_str(),
-                     core::valid_schedule_kind_names().c_str());
-        return 1;
-      }
-      options.check.engine_options.schedule = *kind;
-    } else if (arg == "--threads") {
-      const std::string n = next_arg();
-      const std::optional<std::size_t> count = core::parse_thread_count(n);
-      if (!count.has_value()) {
-        std::fprintf(stderr, "bad thread count '%s' (valid: %s)\n", n.c_str(),
-                     core::valid_thread_count_range().c_str());
-        return 1;
-      }
-      options.check.engine_options.threads = *count;
-    } else if (arg == "--json") {
+  // One pass over argv: config flags go through the unified parse path,
+  // everything else is tool-local.
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    try {
+      if (options.consume_flag(args, i)) continue;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (arg == "--json") {
       json_output = true;
     } else if (arg == "--equations") {
       equations = true;
@@ -183,8 +145,11 @@ int main(int argc, char** argv) {
       std::fputs(stg::to_dot(spec).c_str(), stdout);
     }
 
+    options.validate();
     core::CheckSession session(spec, std::move(options));
     const core::ImplementabilityReport& report = session.run();
+    const bool governed_stop =
+        session.outcome() != core::SessionOutcome::kCompleted;
 
     if (json_output) {
       json::Value events = json::Value::array();
@@ -193,11 +158,28 @@ int main(int argc, char** argv) {
       }
       json::Value doc = json::Value::object();
       doc.set("events", std::move(events));
-      doc.set("report", server::report_to_json(spec, report));
+      if (governed_stop) {
+        // No report: the check stopped before a verdict. The outcome and
+        // the trip gauges take its place (same schema as the daemon's
+        // "result" reply).
+        doc.set("outcome",
+                json::Value(std::string(core::to_string(session.outcome()))));
+        doc.set("trip", server::trip_to_json(*session.trip()));
+      } else {
+        doc.set("report", server::report_to_json(spec, report));
+      }
       std::puts(doc.dump().c_str());
+    } else if (governed_stop) {
+      const BudgetTrip& trip = *session.trip();
+      std::printf(
+          "check stopped before a verdict: %s\n"
+          "  (%zu live nodes, %.3f s, %zu steps at the trip)\n",
+          core::to_string(session.outcome()), trip.live_nodes,
+          trip.elapsed_seconds, trip.steps);
     } else {
       std::fputs(report.summary(spec).c_str(), stdout);
     }
+    if (governed_stop) return 3;
 
     if (explain && report.safe && report.consistent) {
       sg::StateGraph graph = sg::build_state_graph(spec);

@@ -9,12 +9,16 @@
 //     --socket  PATH   daemon socket (required)
 //     --ping           round-trip check instead of submitting nets
 //     --status         print the daemon's status reply
+//     --session ID     with --status: one session's state + progress
+//     --cancel  ID     cancel a queued/running session
 //     --shutdown       ask the daemon to exit
 //     --batch          force the batch op even for a single file
 //     --quiet          print only result/batch_done/error lines, not the
 //                      per-session event stream
-//     --ordering O / --strategy S / --engine E / --schedule C
-//                      forwarded as session options (see stg_check)
+//     plus every core::CheckConfig flag (--ordering, --strategy,
+//     --engine, --schedule, --threads, --arbitrate, --initial-nodes,
+//     --max-live-nodes, --max-seconds, --max-steps) -- parsed by the
+//     unified config and forwarded as the wire "options" object
 //
 // Exit status: 0 on success, 1 on connection/protocol errors or any
 // error reply.
@@ -31,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -41,9 +46,13 @@ void usage() {
       "usage: stg_checkd_client --socket <path> [options] [file.g ...]\n"
       "  --socket  PATH   daemon socket (required)\n"
       "  --ping | --status | --shutdown\n"
+      "  --session ID     with --status: one session's state + progress\n"
+      "  --cancel  ID     cancel a queued/running session\n"
       "  --batch          force the batch op for a single file\n"
       "  --quiet          suppress streamed event lines\n"
-      "  --ordering O  --strategy S  --engine E  --schedule C\n",
+      "  --ordering O  --strategy S  --engine E  --schedule C\n"
+      "  --threads N  --arbitrate A,B  --initial-nodes N\n"
+      "  --max-live-nodes N  --max-seconds S  --max-steps N\n",
       stderr);
 }
 
@@ -126,32 +135,42 @@ int main(int argc, char** argv) {
   using json::Value;
 
   std::string socket_path;
-  std::string op;  // empty = check/batch from files
+  std::string op;          // empty = check/batch from files
+  std::string session_id;  // --cancel target / --status --session filter
   bool force_batch = false;
   bool quiet = false;
-  Value options = Value::object();
+  core::CheckConfig config;  // one parse path with stg_check and the wire
   std::vector<std::string> files;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next_arg = [&]() -> const char* {
-      if (i + 1 >= argc) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next_arg = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
         usage();
         std::exit(1);
       }
-      return argv[++i];
+      return args[++i];
     };
+    try {
+      if (config.consume_flag(args, i)) continue;
+    } catch (const Error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
     if (arg == "--socket") {
       socket_path = next_arg();
     } else if (arg == "--ping" || arg == "--status" || arg == "--shutdown") {
       op = arg.substr(2);
+    } else if (arg == "--cancel") {
+      op = "cancel";
+      session_id = next_arg();
+    } else if (arg == "--session") {
+      session_id = next_arg();
     } else if (arg == "--batch") {
       force_batch = true;
     } else if (arg == "--quiet") {
       quiet = true;
-    } else if (arg == "--ordering" || arg == "--strategy" ||
-               arg == "--engine" || arg == "--schedule") {
-      options.set(arg.substr(2), Value(std::string(next_arg())));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -175,10 +194,12 @@ int main(int argc, char** argv) {
     if (!op.empty()) {
       Value request = Value::object();
       request.set("op", Value(op));
+      if (!session_id.empty()) request.set("session", Value(session_id));
       send_line(fd, request.dump());
-      const std::string final_reply = op == "ping"      ? "pong"
-                                      : op == "status"  ? "status"
-                                                        : "bye";
+      const std::string final_reply = op == "ping"     ? "pong"
+                                      : op == "status" ? "status"
+                                      : op == "cancel" ? "cancelled"
+                                                       : "bye";
       ok = relay_until(fd, quiet, [&](const Value& reply) {
         const Value* kind = reply.find("reply");
         return kind != nullptr && (kind->as_string() == final_reply ||
@@ -195,6 +216,7 @@ int main(int argc, char** argv) {
       Value request = Value::object();
       request.set("op", Value("batch"));
       request.set("nets", std::move(nets));
+      const Value options = config.to_json();
       if (!options.as_object().empty()) request.set("options", options);
       send_line(fd, request.dump());
       ok = relay_until(fd, quiet, [](const Value& reply) {
@@ -206,6 +228,7 @@ int main(int argc, char** argv) {
       request.set("op", Value("check"));
       request.set("id", Value(files[0]));
       request.set("net", Value(slurp(files[0])));
+      const Value options = config.to_json();
       if (!options.as_object().empty()) request.set("options", options);
       send_line(fd, request.dump());
       ok = relay_until(fd, quiet, [](const Value& reply) {

@@ -2,8 +2,11 @@
 # End-to-end exercise of the resident check server, as CI runs it:
 # start stg_checkd, submit every example net as one batch, stream the
 # event records to completion, compare each daemon report field-for-field
-# against a one-shot `stg_check --json` run of the same net, and shut the
-# daemon down cleanly (the process must exit 0 on its own).
+# against a one-shot `stg_check --json` run of the same net, exercise the
+# resource-governance path (a node-budgeted check answers a typed
+# resource_exhausted result, then the same daemon serves a normal check),
+# round-trip a cancel, and shut the daemon down cleanly (the process must
+# exit 0 on its own).
 #
 # Usage: checkd_integration.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -96,6 +99,57 @@ for net in nets:
                  f"  daemon:  {json.dumps(got, sort_keys=True)}\n"
                  f"  oneshot: {json.dumps(expected, sort_keys=True)}")
     print(f"  {net.stem}: {got['level']} -- identical ({events} events streamed in total)")
+PY
+
+echo "== node-budget check trips, then the daemon keeps serving"
+# One connection, two checks: the capped one must answer a typed
+# resource_exhausted result (exit 1: the client saw no report), then a
+# normal check of the same net must still succeed on the fresh connection.
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --quiet \
+  --max-live-nodes 64 "$NETS_DIR/vme_read.g" > "$WORK_DIR/capped.jsonl" || true
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --quiet \
+  "$NETS_DIR/vme_read.g" > "$WORK_DIR/after_cap.jsonl"
+python3 - "$WORK_DIR" <<'PY'
+import json, pathlib, sys
+
+work = pathlib.Path(sys.argv[1])
+capped = [json.loads(l) for l in (work / "capped.jsonl").read_text().splitlines() if l.strip()]
+results = [d for d in capped if d.get("reply") == "result"]
+if len(results) != 1:
+    sys.exit(f"expected one result for the capped check, got: {results}")
+r = results[0]
+if r.get("outcome") != "resource_exhausted" or "report" in r:
+    sys.exit(f"capped check did not stop with a typed outcome: {r}")
+if r["trip"]["limit"] != "node_cap" or r["trip"]["live_nodes"] <= 64:
+    sys.exit(f"trip gauges look wrong: {r['trip']}")
+
+after = [json.loads(l) for l in (work / "after_cap.jsonl").read_text().splitlines() if l.strip()]
+reports = [d for d in after if d.get("reply") == "result" and "report" in d]
+if len(reports) != 1:
+    sys.exit(f"daemon did not serve a normal check after the budget trip: {after}")
+print(f"  capped: {r['outcome']} at {int(r['trip']['live_nodes'])} live nodes; "
+      f"uncapped rerun: {reports[0]['report']['level']}")
+PY
+
+echo "== cancel round-trip"
+# Cancelling an id the daemon has finished (or never saw) must answer the
+# typed code, not a hang or a crash; both shapes prove the op round-trips.
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --quiet \
+  --cancel "no-such-session" > "$WORK_DIR/cancel.jsonl" || true
+python3 - "$WORK_DIR" <<'PY'
+import json, pathlib, sys
+
+work = pathlib.Path(sys.argv[1])
+lines = [json.loads(l) for l in (work / "cancel.jsonl").read_text().splitlines() if l.strip()]
+if len(lines) != 1:
+    sys.exit(f"expected one reply to cancel, got: {lines}")
+reply = lines[0]
+if reply.get("reply") == "error":
+    if reply.get("code") not in ("unknown_session", "session_finished"):
+        sys.exit(f"cancel error lacks a typed code: {reply}")
+elif reply.get("reply") != "cancelled":
+    sys.exit(f"unexpected cancel reply: {reply}")
+print(f"  cancel reply: {reply.get('reply')} ({reply.get('code', 'ok')})")
 PY
 
 echo "== status + shutdown"

@@ -65,6 +65,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -73,6 +74,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/task_pool.hpp"
 
 namespace stgcheck::bdd {
@@ -418,6 +420,29 @@ class Manager {
   void set_thread_count(std::size_t n);
   std::size_t thread_count() const { return thread_count_; }
 
+  // ---- Resource governance ------------------------------------------------
+
+  /// Arms `budget` on this manager: from now on the handle-level entry of
+  /// every heavy operation (and REACH's rule loop) polls the limits and
+  /// throws stgcheck::CancelledError when one trips. Arming resets the
+  /// step counter and starts the wall clock. The unwind happens only at
+  /// safe points where no recursion is on the stack and no parallel
+  /// region is active, so the manager stays consistent
+  /// (check_invariants() clean) and fully reusable afterwards. An
+  /// unlimited budget (ResourceBudget::unlimited()) disarms, same as
+  /// clear_budget().
+  void set_budget(const ResourceBudget& budget);
+  /// Disarms any armed budget.
+  void clear_budget();
+  const ResourceBudget& budget() const { return budget_; }
+  /// Counts one coarse progress step -- a traversal pass, one REACH
+  /// saturation-loop iteration -- against ResourceBudget::max_steps, then
+  /// polls like poll_budget(). Called by traverse() at pass boundaries
+  /// and by the REACH core; no-op when no budget is armed.
+  void count_budget_step();
+  /// Seconds since the budget was armed (0 when none is).
+  double budget_elapsed_seconds() const;
+
   // ---- Memory ------------------------------------------------------------
 
   /// Forces a garbage collection (normally triggered automatically).
@@ -707,6 +732,19 @@ class Manager {
 
   Bdd make_handle(NodeRef r) { return Bdd(this, r); }
 
+  // Budget safe point: one predictable branch when no budget is armed.
+  // Polls only outside parallel regions -- an exception from a worker (or
+  // from the inline branch of a fork) while sibling tasks are still queued
+  // would unwind past stack-allocated Tasks a thief may still run. With
+  // threads > 1 a running top-level operation therefore always completes;
+  // the trip throws at the next wrapper entry (in-daemon sessions run
+  // threads = 1, where every safe point is live).
+  void poll_budget() {
+    if (budget_armed_ && !parallel_active_) poll_budget_slow();
+  }
+  void poll_budget_slow();
+  [[noreturn]] void trip_budget(LimitKind kind);
+
   // Data.
   //
   // Node arena: chunk pointers are published with release stores and never
@@ -791,6 +829,15 @@ class Manager {
   // Slots lost in duplicate-insert races, recycled at region end.
   std::vector<std::uint32_t> abandoned_;
   std::mutex abandoned_mu_;
+
+  // Resource governance (set_budget). budget_steps_ is atomic because
+  // REACH's parallel core counts saturation iterations from workers; the
+  // trip check itself only ever runs on the owner thread outside parallel
+  // regions.
+  ResourceBudget budget_;
+  bool budget_armed_ = false;
+  std::chrono::steady_clock::time_point budget_start_{};
+  std::atomic<std::size_t> budget_steps_{0};
 };
 
 }  // namespace stgcheck::bdd

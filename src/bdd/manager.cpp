@@ -685,6 +685,67 @@ ManagerStats Manager::stats() const {
 }
 
 // ---------------------------------------------------------------------------
+// Resource governance (util/budget.hpp)
+// ---------------------------------------------------------------------------
+
+void Manager::set_budget(const ResourceBudget& budget) {
+  budget_ = budget;
+  budget_armed_ = !budget.unlimited();
+  budget_start_ = std::chrono::steady_clock::now();
+  budget_steps_.store(0, std::memory_order_relaxed);
+}
+
+void Manager::clear_budget() {
+  budget_ = ResourceBudget{};
+  budget_armed_ = false;
+  budget_steps_.store(0, std::memory_order_relaxed);
+}
+
+double Manager::budget_elapsed_seconds() const {
+  if (!budget_armed_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       budget_start_)
+      .count();
+}
+
+void Manager::count_budget_step() {
+  if (!budget_armed_) return;
+  const std::size_t steps =
+      budget_steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (parallel_active_) return;  // see poll_budget(): no unwind mid-region
+  if (budget_.max_steps != 0 && steps > budget_.max_steps) {
+    trip_budget(LimitKind::kStepCap);
+  }
+  poll_budget_slow();
+}
+
+void Manager::poll_budget_slow() {
+  if (budget_.token != nullptr && budget_.token->cancelled()) {
+    trip_budget(LimitKind::kCancelled);
+  }
+  if (budget_.max_live_nodes != 0 && live_nodes() > budget_.max_live_nodes) {
+    trip_budget(LimitKind::kNodeCap);
+  }
+  if (budget_.max_seconds != 0.0 &&
+      budget_elapsed_seconds() > budget_.max_seconds) {
+    trip_budget(LimitKind::kDeadline);
+  }
+}
+
+void Manager::trip_budget(LimitKind kind) {
+  BudgetTrip trip;
+  trip.kind = kind;
+  trip.live_nodes = live_nodes();
+  trip.elapsed_seconds = budget_elapsed_seconds();
+  trip.steps = budget_steps_.load(std::memory_order_relaxed);
+  // Disarm before unwinding: the catch site (CheckSession) reads final
+  // gauges and may run further kernel calls (count_nodes on surviving
+  // handles, GC) that must not re-trip.
+  budget_armed_ = false;
+  throw CancelledError(trip);
+}
+
+// ---------------------------------------------------------------------------
 // Invariant checking
 // ---------------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ namespace stgcheck::bdd {
 // ---------------------------------------------------------------------------
 
 Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
+  poll_budget();
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -44,6 +45,7 @@ Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
 }
 
 Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
+  poll_budget();
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -59,6 +61,7 @@ Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
 }
 
 Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) {
+  poll_budget();
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -79,6 +82,7 @@ Bdd Manager::apply_not(const Bdd& f) {
 }
 
 Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  poll_budget();
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min({level(f.ref()), level(g.ref()),
@@ -95,12 +99,14 @@ Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
 }
 
 Bdd Manager::cofactor(const Bdd& f, const Bdd& cube) {
+  poll_budget();
   Bdd result = make_handle(cofactor_rec(f.ref(), cube.ref()));
   maybe_gc();
   return result;
 }
 
 Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
+  poll_budget();
   NodeRef raw;
   if (pool_ != nullptr && fork_worthwhile(fork_depth_, level(f.ref()))) {
     ParallelRegion region(*this);
@@ -115,6 +121,7 @@ Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
 }
 
 Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
+  poll_budget();
   // De Morgan: forall x. f == not exists x. not f -- shares the EXISTS cache.
   NodeRef raw;
   if (pool_ != nullptr && fork_worthwhile(fork_depth_, level(f.ref()))) {
@@ -131,6 +138,7 @@ Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
 }
 
 Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  poll_budget();
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -148,6 +156,7 @@ Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
 
 Bdd Manager::and_exists_multi(const std::vector<Bdd>& conjuncts,
                               const Bdd& cube) {
+  poll_budget();
   std::vector<NodeRef> ops;
   ops.reserve(conjuncts.size());
   std::size_t top = kTerminalLevel;
@@ -179,6 +188,7 @@ Bdd Manager::and_exists_multi(const std::vector<Bdd>& conjuncts,
 }
 
 Bdd Manager::restrict(const Bdd& f, const Bdd& care) {
+  poll_budget();
   Bdd result = make_handle(restrict_rec(f.ref(), care.ref()));
   maybe_gc();
   return result;
@@ -190,6 +200,7 @@ std::string Manager::var_desc(Var v) const {
 }
 
 Bdd Manager::permute(const Bdd& f, const std::vector<Var>& perm) {
+  poll_budget();
   // Validate over f's support (sorted by current level): every variable
   // mapped, every target known, no two variables sharing a target. A
   // duplicated target is not a substitution -- it would silently merge two

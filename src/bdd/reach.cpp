@@ -105,6 +105,7 @@ void Manager::validate_reach_states(const Bdd& states,
 // ---------------------------------------------------------------------------
 
 Bdd Manager::rel_next(const Bdd& states, const Bdd& rel, const Bdd& support) {
+  poll_budget();
   std::vector<char> twin_mask(var2level_.size(), 0);
   validate_reach_relation(rel, support, twin_mask);
   validate_reach_states(states, twin_mask);
@@ -180,6 +181,7 @@ NodeRef Manager::rel_next_rec(NodeRef s, NodeRef r, NodeRef cube) {
 
 Bdd Manager::reach(const Bdd& states,
                    const std::vector<ReachRelation>& relations) {
+  poll_budget();
   std::vector<ReachRule> rules;
   rules.reserve(relations.size());
   std::vector<char> twin_mask(var2level_.size(), 0);
@@ -215,17 +217,26 @@ Bdd Manager::reach(const Bdd& states,
 
   reach_rules_ = std::move(rules);
   NodeRef raw;
-  if (pool_ != nullptr && !reach_rules_.empty() && !is_term(states.ref())) {
-    // The REACH cache lazily resizes on the sequential path; pre-allocate
-    // it here so no thread does that inside the region.
-    if (reach_cache_.empty()) {
-      reach_cache_.resize(kReachCacheSize);
-      reach_cache_mask_ = kReachCacheSize - 1;
+  try {
+    if (pool_ != nullptr && !reach_rules_.empty() && !is_term(states.ref())) {
+      // The REACH cache lazily resizes on the sequential path; pre-allocate
+      // it here so no thread does that inside the region.
+      if (reach_cache_.empty()) {
+        reach_cache_.resize(kReachCacheSize);
+        reach_cache_mask_ = kReachCacheSize - 1;
+      }
+      ParallelRegion region(*this);
+      raw = pool_->run_root([&] { return reach_par(states.ref(), 0); });
+    } else {
+      raw = reach_rec(states.ref(), 0);
     }
-    ParallelRegion region(*this);
-    raw = pool_->run_root([&] { return reach_par(states.ref(), 0); });
-  } else {
-    raw = reach_rec(states.ref(), 0);
+  } catch (...) {
+    // A budget trip unwinds out of reach_rec's rule loop: the rule list
+    // holds raw edges owned by the caller's handles, so it must not
+    // survive this call. The nodes built so far stay (garbage until the
+    // next GC) -- the table itself is consistent.
+    reach_rules_.clear();
+    throw;
   }
   Bdd result = make_handle(raw);
   reach_rules_.clear();
@@ -257,6 +268,10 @@ NodeRef Manager::reach_rec(NodeRef s, std::size_t rule) {
     // under this rule *and* (by the final inner call) every deeper one.
     NodeRef cur = s;
     for (;;) {
+      // Budget safe point: one saturation iteration is one budget step.
+      // The unwind out of this recursion is clean -- only raw edges are
+      // on the stack and reach()'s wrapper clears the rule list.
+      count_budget_step();
       cur = reach_rec(cur, rule + 1);
       if (cur == kTrue) break;
       const NodeRef rel = reach_rules_[rule].rel;

@@ -10,6 +10,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kPhaseDone: return "phase_done";
     case EventKind::kVerdict: return "verdict";
     case EventKind::kSessionDone: return "session_done";
+    case EventKind::kResourceExhausted: return "resource_exhausted";
+    case EventKind::kCancelled: return "cancelled";
     case EventKind::kError: return "error";
   }
   return "?";
@@ -34,13 +36,16 @@ void EventLog::session_start(
 }
 
 void EventLog::pass(std::size_t pass, std::size_t image_computations,
-                    std::size_t live_nodes, std::size_t peak_live_nodes) {
+                    std::size_t live_nodes, std::size_t peak_live_nodes,
+                    std::size_t reached_nodes, std::size_t frontier_nodes) {
   EventRecord r;
   r.kind = EventKind::kPass;
   r.metrics = {{"pass", static_cast<double>(pass)},
                {"image_computations", static_cast<double>(image_computations)},
                {"live_nodes", static_cast<double>(live_nodes)},
-               {"peak_live_nodes", static_cast<double>(peak_live_nodes)}};
+               {"peak_live_nodes", static_cast<double>(peak_live_nodes)},
+               {"reached_nodes", static_cast<double>(reached_nodes)},
+               {"frontier_nodes", static_cast<double>(frontier_nodes)}};
   emit(std::move(r));
 }
 
@@ -79,6 +84,18 @@ void EventLog::session_done(
   r.ok = ok;
   r.detail = std::move(level);
   r.metrics = std::move(metrics);
+  emit(std::move(r));
+}
+
+void EventLog::budget_trip(const BudgetTrip& trip, const std::string& message) {
+  EventRecord r;
+  r.kind = trip.kind == LimitKind::kCancelled ? EventKind::kCancelled
+                                              : EventKind::kResourceExhausted;
+  r.label = to_string(trip.kind);
+  r.detail = message;
+  r.metrics = {{"live_nodes", static_cast<double>(trip.live_nodes)},
+               {"elapsed_seconds", trip.elapsed_seconds},
+               {"steps", static_cast<double>(trip.steps)}};
   emit(std::move(r));
 }
 

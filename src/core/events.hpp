@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/budget.hpp"
 #include "util/stopwatch.hpp"
 
 namespace stgcheck::core {
@@ -73,6 +74,9 @@ enum class EventKind {
   kPhaseDone,      ///< one checker phase finished; label = phase, metrics.seconds
   kVerdict,        ///< one check's verdict; label = check, ok = verdict
   kSessionDone,    ///< the whole check finished; detail = implementability level
+  kResourceExhausted,  ///< a resource budget tripped; label = which limit,
+                       ///< metrics = gauges at trip time (see budget_trip)
+  kCancelled,          ///< an explicit cancel landed; metrics = same gauges
   kError,          ///< the session failed; detail = what()
 };
 
@@ -107,12 +111,17 @@ class EventLog {
   void session_start(std::string label,
                      std::vector<std::pair<std::string, double>> metrics = {});
   void pass(std::size_t pass, std::size_t image_computations,
-            std::size_t live_nodes, std::size_t peak_live_nodes);
+            std::size_t live_nodes, std::size_t peak_live_nodes,
+            std::size_t reached_nodes, std::size_t frontier_nodes);
   void traversal_done(std::vector<std::pair<std::string, double>> metrics);
   void phase_done(std::string phase, double seconds);
   void verdict(std::string check, bool ok, std::string detail = {});
   void session_done(bool ok, std::string level,
                     std::vector<std::pair<std::string, double>> metrics = {});
+  /// kCancelled for an explicit cancel, kResourceExhausted for any limit.
+  /// label = which limit tripped (util/budget.hpp wire names), detail =
+  /// the trip's message, metrics = the gauges frozen at trip time.
+  void budget_trip(const BudgetTrip& trip, const std::string& message);
   void error(std::string what);
 
   const std::vector<EventRecord>& records() const { return records_; }

@@ -7,6 +7,15 @@
 
 namespace stgcheck::core {
 
+const char* to_string(SessionOutcome outcome) {
+  switch (outcome) {
+    case SessionOutcome::kCompleted: return "completed";
+    case SessionOutcome::kCancelled: return "cancelled";
+    case SessionOutcome::kResourceExhausted: return "resource_exhausted";
+  }
+  return "?";
+}
+
 CheckSession::CheckSession(stg::Stg stg, SessionOptions options,
                            const Clock* clock, EventLog::Sink sink)
     : stg_(std::move(stg)),
@@ -28,12 +37,18 @@ const ImplementabilityReport& CheckSession::run() {
                                          options_.initial_nodes, needs_primed);
     // Encoding construction churns through intermediate conjunctions the
     // check never revisits; re-arm the gauges so every peak the event
-    // stream reports is a peak of the check itself.
+    // stream reports is a peak of the check itself. The budget is armed
+    // only now, for the same reason: limits govern the check, not the
+    // encoding build.
     sym_->manager().reset_peak_stats();
+    if (!options_.limits.unlimited()) {
+      sym_->manager().set_budget(options_.limits);
+    }
 
     CheckOptions check_options = options_.check;
     check_options.events = &events_;
     report_ = check_implementability(*sym_, check_options);
+    sym_->manager().clear_budget();
     report_.encoding = sym_;  // the report's Bdd handles point into it
 
     events_.session_done(
@@ -45,6 +60,20 @@ const ImplementabilityReport& CheckSession::run() {
          {"peak_live_nodes",
           static_cast<double>(sym_->manager().peak_live_nodes())},
          {"seconds", report_.times.total}});
+    return report_;
+  } catch (const CancelledError& e) {
+    // A governed stop, not a failure: the trip already disarmed the
+    // budget and unwound between kernel operations, so the manager is
+    // consistent (nodes born before the trip are garbage until the next
+    // collection). Freeze the gauges, emit the typed record, and return
+    // the partial report instead of rethrowing.
+    sym_->manager().clear_budget();
+    outcome_ = e.trip().kind == LimitKind::kCancelled
+                   ? SessionOutcome::kCancelled
+                   : SessionOutcome::kResourceExhausted;
+    trip_ = e.trip();
+    report_.encoding = sym_;
+    events_.budget_trip(e.trip(), e.what());
     return report_;
   } catch (const std::exception& e) {
     events_.error(e.what());

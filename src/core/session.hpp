@@ -25,21 +25,30 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "core/config.hpp"
 #include "core/events.hpp"
 #include "core/implementability.hpp"
 #include "stg/stg.hpp"
 
 namespace stgcheck::core {
 
-struct SessionOptions {
-  /// Everything check_implementability takes, minus the event log (the
-  /// session injects its own).
-  CheckOptions check;
-  /// Initial node capacity of the session's manager.
-  std::size_t initial_nodes = 1 << 14;
+/// Historical name: the session consumes the unified CheckConfig
+/// (core/config.hpp) directly -- check pipeline options, manager sizing
+/// and the resource budget the session arms on its manager.
+using SessionOptions = CheckConfig;
+
+/// How run() ended. kCompleted is the only outcome with a full report;
+/// the governed outcomes carry the BudgetTrip gauges instead (trip()).
+enum class SessionOutcome {
+  kCompleted,          ///< the whole pipeline ran to its verdict
+  kCancelled,          ///< an explicit cancel landed mid-check
+  kResourceExhausted,  ///< a resource limit tripped mid-check
 };
+
+const char* to_string(SessionOutcome outcome);
 
 /// Owns one check end to end. Construct (cheap), then run() on whichever
 /// thread the scheduler assigns; read the report and the event records
@@ -65,13 +74,20 @@ class CheckSession {
   /// Runs the full check pipeline: emits kSessionStart, builds the
   /// encoding (primed variables iff the selected engine needs them),
   /// re-arms the manager's peak gauges so they measure the check rather
-  /// than encoding construction, runs check_implementability with the
-  /// session's event log wired through, and emits kSessionDone. On any
-  /// exception a kError record is emitted and the exception rethrown.
-  /// Call at most once.
+  /// than encoding construction, arms the resource budget (if any), runs
+  /// check_implementability with the session's event log wired through,
+  /// and emits kSessionDone. A budget trip or cancel is a governed
+  /// outcome, not a failure: run() returns normally with outcome() set,
+  /// the typed record emitted, and the manager invariant-clean. On any
+  /// other exception a kError record is emitted and the exception
+  /// rethrown. Call at most once.
   const ImplementabilityReport& run();
 
   bool has_run() const { return ran_; }
+  /// How run() ended; kCompleted until run() returns.
+  SessionOutcome outcome() const { return outcome_; }
+  /// The trip gauges when outcome() != kCompleted; nullopt otherwise.
+  const std::optional<BudgetTrip>& trip() const { return trip_; }
   /// Valid after run() returned.
   const ImplementabilityReport& report() const { return report_; }
   /// Valid after run() started building the encoding; null before.
@@ -83,6 +99,8 @@ class CheckSession {
   EventLog events_;
   std::shared_ptr<SymbolicStg> sym_;
   ImplementabilityReport report_;
+  SessionOutcome outcome_ = SessionOutcome::kCompleted;
+  std::optional<BudgetTrip> trip_;
   bool ran_ = false;
 };
 

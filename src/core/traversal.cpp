@@ -122,8 +122,10 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
   }
 
   const auto track_peak = [&](const Bdd& r) {
+    const std::size_t nodes = sym.manager().count_nodes(r);
     result.stats.peak_reached_nodes =
-        std::max(result.stats.peak_reached_nodes, sym.manager().count_nodes(r));
+        std::max(result.stats.peak_reached_nodes, nodes);
+    return nodes;
   };
   track_peak(reached);
 
@@ -173,14 +175,18 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
     // so options.max_passes (a safety valve for iterative engines) cannot
     // bound it -- any nonzero cap admits this one pass.
     ++result.stats.passes;
+    sym.manager().count_budget_step();
     reached = engine.reach_fixpoint(reached);
     ++result.stats.image_computations;
-    track_peak(reached);
+    const std::size_t reached_nodes = track_peak(reached);
     maintain();
     if (options.events != nullptr) {
+      // The closure has no frontier: the whole fixpoint arrived in one
+      // operation.
       options.events->pass(result.stats.passes, result.stats.image_computations,
                            sym.manager().live_nodes(),
-                           sym.manager().peak_live_nodes());
+                           sym.manager().peak_live_nodes(), reached_nodes,
+                           /*frontier_nodes=*/0);
     }
     if (options.check_consistency) {
       check_consistency_on(sym, reached, result);
@@ -204,6 +210,9 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
   } else {
     while (!stop) {
       ++result.stats.passes;
+      // Pass boundary: the coarsest budget safe point (one pass = one
+      // budget step). Finer trips land on the kernel wrapper entries.
+      sym.manager().count_budget_step();
       if (options.max_passes != 0 && result.stats.passes > options.max_passes) {
         result.complete = false;
         break;
@@ -261,13 +270,14 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
         }
       }
 
-      track_peak(reached);
+      const std::size_t reached_nodes = track_peak(reached);
       maintain();
       if (options.events != nullptr) {
         options.events->pass(result.stats.passes,
                              result.stats.image_computations,
                              sym.manager().live_nodes(),
-                             sym.manager().peak_live_nodes());
+                             sym.manager().peak_live_nodes(), reached_nodes,
+                             sym.manager().count_nodes(pass_new));
       }
 
       if (pass_new.is_false()) break;  // fixed point

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "server/protocol.hpp"
@@ -26,6 +27,30 @@ namespace {
 }
 
 constexpr std::size_t kMaxSchedulerThreads = 64;  // bdd::Manager::kMaxThreads
+
+/// Decodes a kPass record's named metrics into the registry's gauge
+/// struct (started_at is the registry's own, preserved by note_pass).
+SessionProgress progress_from_pass(const core::EventRecord& record) {
+  SessionProgress p;
+  p.at = record.at;
+  for (const auto& [name, value] : record.metrics) {
+    const std::size_t n = value < 0 ? 0 : static_cast<std::size_t>(value);
+    if (name == "pass") {
+      p.passes = n;
+    } else if (name == "image_computations") {
+      p.image_computations = n;
+    } else if (name == "live_nodes") {
+      p.live_nodes = n;
+    } else if (name == "peak_live_nodes") {
+      p.peak_live_nodes = n;
+    } else if (name == "reached_nodes") {
+      p.reached_nodes = n;
+    } else if (name == "frontier_nodes") {
+      p.frontier_nodes = n;
+    }
+  }
+  return p;
+}
 
 }  // namespace
 
@@ -197,8 +222,11 @@ void CheckServer::handle_line(const std::shared_ptr<Connection>& conn,
   Request request;
   try {
     request = parse_request(line);
+  } catch (const ProtocolError& e) {
+    conn->write_line(error_line(e.code(), e.what()));
+    return;
   } catch (const std::exception& e) {
-    conn->write_line(error_line(e.what()));
+    conn->write_line(error_line(ErrorCode::kBadRequest, e.what()));
     return;
   }
 
@@ -206,22 +234,54 @@ void CheckServer::handle_line(const std::shared_ptr<Connection>& conn,
     case Request::Op::kPing: {
       Value reply = Value::object();
       reply.set("reply", Value("pong"));
+      reply.set("version", Value(kProtocolVersion));
       conn->write_line(reply.dump());
       return;
     }
     case Request::Op::kStatus: {
+      if (!request.session_id.empty()) {
+        handle_session_status(conn, request.session_id);
+        return;
+      }
       const RegistryCounts counts = registry_.counts();
       Value sessions = Value::object();
       sessions.set("queued", Value(counts.queued));
       sessions.set("running", Value(counts.running));
       sessions.set("done", Value(counts.done));
       sessions.set("failed", Value(counts.failed));
+      sessions.set("cancelled", Value(counts.cancelled));
+      sessions.set("exhausted", Value(counts.exhausted));
       Value reply = Value::object();
       reply.set("reply", Value("status"));
+      reply.set("version", Value(kProtocolVersion));
       reply.set("threads", Value(scheduler_.thread_count()));
       reply.set("uptime", Value(clock_.seconds()));
       reply.set("sessions", std::move(sessions));
       conn->write_line(reply.dump());
+      return;
+    }
+    case Request::Op::kCancel: {
+      switch (registry_.cancel(request.session_id)) {
+        case CancelResult::kSignalled: {
+          Value reply = Value::object();
+          reply.set("reply", Value("cancelled"));
+          reply.set("session", Value(request.session_id));
+          conn->write_line(reply.dump());
+          return;
+        }
+        case CancelResult::kFinished:
+          conn->write_line(error_line(
+              ErrorCode::kSessionFinished,
+              "session '" + request.session_id + "' already finished",
+              request.session_id));
+          return;
+        case CancelResult::kUnknown:
+          conn->write_line(
+              error_line(ErrorCode::kUnknownSession,
+                         "no session '" + request.session_id + "'",
+                         request.session_id));
+          return;
+      }
       return;
     }
     case Request::Op::kShutdown: {
@@ -247,6 +307,38 @@ void CheckServer::handle_line(const std::shared_ptr<Connection>& conn,
   }
 }
 
+void CheckServer::handle_session_status(
+    const std::shared_ptr<Connection>& conn, const std::string& session_id) {
+  const std::optional<SessionInfo> info = registry_.info(session_id);
+  if (!info.has_value()) {
+    conn->write_line(error_line(ErrorCode::kUnknownSession,
+                                "no session '" + session_id + "'",
+                                session_id));
+    return;
+  }
+  Value reply = Value::object();
+  reply.set("reply", Value("status"));
+  reply.set("version", Value(kProtocolVersion));
+  reply.set("session", Value(session_id));
+  reply.set("state", Value(std::string(to_string(info->state))));
+  reply.set("finished", Value(info->finished));
+  if (!info->error.empty()) reply.set("error", Value(info->error));
+  const std::optional<SessionProgress> progress = registry_.progress(session_id);
+  if (progress.has_value() && info->state == SessionState::kRunning) {
+    Value p = Value::object();
+    p.set("passes", Value(progress->passes));
+    p.set("image_computations", Value(progress->image_computations));
+    p.set("live_nodes", Value(progress->live_nodes));
+    p.set("peak_live_nodes", Value(progress->peak_live_nodes));
+    p.set("reached_nodes", Value(progress->reached_nodes));
+    p.set("frontier_nodes", Value(progress->frontier_nodes));
+    p.set("at", Value(progress->at));
+    p.set("elapsed", Value(clock_.seconds() - progress->started_at));
+    reply.set("progress", std::move(p));
+  }
+  conn->write_line(reply.dump());
+}
+
 void CheckServer::submit_checks(const std::shared_ptr<Connection>& conn,
                                 std::vector<CheckRequest> checks,
                                 bool is_batch, std::string batch_id) {
@@ -266,7 +358,7 @@ void CheckServer::submit_checks(const std::shared_ptr<Connection>& conn,
     try {
       stg = stg::parse_astg_string(check.net_text);
     } catch (const std::exception& e) {
-      conn->write_line(error_line(e.what(), id));
+      conn->write_line(error_line(ErrorCode::kBadNet, e.what(), id));
       continue;
     }
 
@@ -274,14 +366,24 @@ void CheckServer::submit_checks(const std::shared_ptr<Connection>& conn,
     // sessions never spin up an inner kernel pool.
     check.options.check.engine_options.threads = 1;
 
+    // Every in-daemon session gets a cancel token, whatever its other
+    // limits: the "cancel" op reaches the session through it.
+    auto token = std::make_shared<CancelToken>();
+    check.options.limits.token = token;
+
     auto session = std::make_unique<core::CheckSession>(
         std::move(stg), std::move(check.options), &clock_,
-        [conn, id](const core::EventRecord& record) {
+        [this, conn, id](const core::EventRecord& record) {
+          if (record.kind == core::EventKind::kPass) {
+            registry_.note_pass(id, progress_from_pass(record));
+          }
           conn->write_line(event_line(id, record));
         });
-    core::CheckSession* raw = registry_.add(id, std::move(session));
+    core::CheckSession* raw =
+        registry_.add(id, std::move(session), std::move(token));
     if (raw == nullptr) {
-      conn->write_line(error_line("session id already in use", id));
+      conn->write_line(
+          error_line(ErrorCode::kDuplicateSession, "session id already in use", id));
       continue;
     }
 
@@ -322,23 +424,42 @@ void CheckServer::submit_checks(const std::shared_ptr<Connection>& conn,
   for (Accepted& entry : accepted) {
     scheduler_.submit([this, conn, id = entry.id, session = entry.session,
                        batch_done_if_last] {
-      registry_.mark_running(id);
+      registry_.mark_running(id, clock_.seconds());
       try {
         const core::ImplementabilityReport& report = session->run();
         Value result = Value::object();
         result.set("reply", Value("result"));
         result.set("session", Value(id));
-        result.set("report", report_to_json(session->stg(), report));
+        // Render first, finish second, write last: once a client reads a
+        // result line, the slot is already freed and the status counters
+        // already reflect the ending. (finish() destroys the session, so
+        // the JSON must be fully built before it.)
+        if (session->outcome() == core::SessionOutcome::kCompleted) {
+          result.set("report", report_to_json(session->stg(), report));
+          registry_.finish(id, SessionState::kDone);
+        } else {
+          // A governed stop: the session already streamed the typed
+          // record; the result carries the outcome + trip gauges instead
+          // of a report, the slot frees, and the server keeps serving.
+          result.set("outcome",
+                     Value(std::string(core::to_string(session->outcome()))));
+          result.set("trip", trip_to_json(*session->trip()));
+          registry_.finish(
+              id, session->outcome() == core::SessionOutcome::kCancelled
+                      ? SessionState::kCancelled
+                      : SessionState::kExhausted);
+        }
         conn->write_line(result.dump());
-        registry_.finish(id, SessionState::kDone);
       } catch (const std::exception& e) {
         // The session already streamed a kError record from inside run().
         Value result = Value::object();
         result.set("reply", Value("result"));
         result.set("session", Value(id));
+        result.set("code",
+                   Value(std::string(to_string(ErrorCode::kSessionFailed))));
         result.set("error", Value(std::string(e.what())));
-        conn->write_line(result.dump());
         registry_.finish(id, SessionState::kFailed, e.what());
+        conn->write_line(result.dump());
       }
       batch_done_if_last();
     });

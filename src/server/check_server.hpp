@@ -91,6 +91,8 @@ class CheckServer {
   void serve_connection(std::shared_ptr<Connection> conn);
   void handle_line(const std::shared_ptr<Connection>& conn,
                    const std::string& line);
+  void handle_session_status(const std::shared_ptr<Connection>& conn,
+                             const std::string& session_id);
   void submit_checks(const std::shared_ptr<Connection>& conn,
                      std::vector<CheckRequest> checks, bool is_batch,
                      std::string batch_id);

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <utility>
 
+#include "core/config.hpp"
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace stgcheck::server {
 
@@ -14,7 +16,7 @@ using json::Value;
 namespace {
 
 [[noreturn]] void bad(const std::string& what) {
-  throw ModelError("protocol: " + what);
+  throw ProtocolError(ErrorCode::kBadRequest, what);
 }
 
 std::string string_member(const Value& obj, std::string_view key,
@@ -40,56 +42,57 @@ CheckRequest parse_check_entry(const Value& obj,
 
 }  // namespace
 
-core::SessionOptions parse_session_options(const json::Value& obj) {
-  core::SessionOptions options;
-  for (const auto& [key, value] : obj.as_object()) {
-    if (key == "ordering") {
-      const auto o = core::parse_ordering(value.as_string());
-      if (!o) {
-        bad("unknown ordering '" + value.as_string() + "' (valid: " +
-            core::valid_ordering_names() + ")");
-      }
-      options.check.ordering = *o;
-    } else if (key == "strategy") {
-      const auto s = core::parse_traversal_strategy(value.as_string());
-      if (!s) {
-        bad("unknown strategy '" + value.as_string() + "' (valid: " +
-            core::valid_traversal_strategy_names() + ")");
-      }
-      options.check.strategy = *s;
-    } else if (key == "engine") {
-      const auto e = core::parse_engine_kind(value.as_string());
-      if (!e) {
-        bad("unknown engine '" + value.as_string() + "' (valid: " +
-            core::valid_engine_kind_names() + ")");
-      }
-      options.check.engine = *e;
-    } else if (key == "schedule") {
-      const auto s = core::parse_schedule_kind(value.as_string());
-      if (!s) {
-        bad("unknown schedule '" + value.as_string() + "' (valid: " +
-            core::valid_schedule_kind_names() + ")");
-      }
-      options.check.engine_options.schedule = *s;
-    } else if (key == "initial_nodes") {
-      const double n = value.as_number();
-      if (n < 1 || n != std::floor(n)) bad("initial_nodes must be a positive integer");
-      options.initial_nodes = static_cast<std::size_t>(n);
-    } else {
-      bad("unknown option '" + key + "'");
-    }
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnsupportedVersion: return "unsupported_version";
+    case ErrorCode::kBadNet: return "bad_net";
+    case ErrorCode::kDuplicateSession: return "duplicate_session";
+    case ErrorCode::kUnknownSession: return "unknown_session";
+    case ErrorCode::kSessionFinished: return "session_finished";
+    case ErrorCode::kSessionFailed: return "session_failed";
   }
-  return options;
+  return "?";
+}
+
+std::optional<ErrorCode> parse_error_code(std::string_view name) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kUnsupportedVersion,
+        ErrorCode::kBadNet, ErrorCode::kDuplicateSession,
+        ErrorCode::kUnknownSession, ErrorCode::kSessionFinished,
+        ErrorCode::kSessionFailed}) {
+    if (names_equal_dashed(name, to_string(code))) return code;
+  }
+  return std::nullopt;
+}
+
+core::SessionOptions parse_session_options(const json::Value& obj) {
+  return core::CheckConfig::from_json(obj);
 }
 
 Request parse_request(const std::string& line) {
   const Value doc = Value::parse(line);
+  if (const Value* version = doc.find("version")) {
+    const double v = version->as_number();
+    if (v < 1 || v != std::floor(v)) bad("version must be a positive integer");
+    if (v > kProtocolVersion) {
+      throw ProtocolError(
+          ErrorCode::kUnsupportedVersion,
+          "request version " + std::to_string(static_cast<int>(v)) +
+              " is newer than this server's version " +
+              std::to_string(kProtocolVersion));
+    }
+  }
   const std::string op = doc.at("op").as_string();
   Request request;
   if (op == "ping") {
     request.op = Request::Op::kPing;
   } else if (op == "status") {
     request.op = Request::Op::kStatus;
+    request.session_id = string_member(doc, "session", false);
+  } else if (op == "cancel") {
+    request.op = Request::Op::kCancel;
+    request.session_id = string_member(doc, "session", true);
   } else if (op == "shutdown") {
     request.op = Request::Op::kShutdown;
   } else if (op == "check") {
@@ -235,10 +238,20 @@ json::Value report_to_json(const stg::Stg& stg,
   return obj;
 }
 
-std::string error_line(const std::string& message,
+json::Value trip_to_json(const BudgetTrip& trip) {
+  Value obj = Value::object();
+  obj.set("limit", Value(std::string(to_string(trip.kind))));
+  obj.set("live_nodes", Value(trip.live_nodes));
+  obj.set("elapsed_seconds", Value(trip.elapsed_seconds));
+  obj.set("steps", Value(trip.steps));
+  return obj;
+}
+
+std::string error_line(ErrorCode code, const std::string& message,
                        const std::string& session_id) {
   Value obj = Value::object();
   obj.set("reply", Value(std::string("error")));
+  obj.set("code", Value(std::string(to_string(code))));
   if (!session_id.empty()) obj.set("session", Value(session_id));
   obj.set("message", Value(message));
   return obj.dump();

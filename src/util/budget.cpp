@@ -1,0 +1,64 @@
+#include "util/budget.hpp"
+
+#include "util/strings.hpp"
+
+namespace stgcheck {
+
+const char* to_string(LimitKind kind) {
+  switch (kind) {
+    case LimitKind::kCancelled: return "cancelled";
+    case LimitKind::kNodeCap: return "node_cap";
+    case LimitKind::kDeadline: return "deadline";
+    case LimitKind::kStepCap: return "step_cap";
+  }
+  return "?";
+}
+
+std::optional<LimitKind> parse_limit_kind(std::string_view name) {
+  for (LimitKind kind : {LimitKind::kCancelled, LimitKind::kNodeCap,
+                         LimitKind::kDeadline, LimitKind::kStepCap}) {
+    if (names_equal_dashed(name, to_string(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
+std::string valid_limit_kind_names() {
+  std::string out;
+  for (LimitKind kind : {LimitKind::kCancelled, LimitKind::kNodeCap,
+                         LimitKind::kDeadline, LimitKind::kStepCap}) {
+    if (!out.empty()) out += ", ";
+    out += to_string(kind);
+  }
+  return out;
+}
+
+namespace {
+
+std::string trip_message(const BudgetTrip& trip) {
+  std::string out;
+  switch (trip.kind) {
+    case LimitKind::kCancelled:
+      out = "check cancelled";
+      break;
+    case LimitKind::kNodeCap:
+      out = "live-node budget exhausted (" +
+            std::to_string(trip.live_nodes) + " live nodes)";
+      break;
+    case LimitKind::kDeadline:
+      out = "wall-clock budget exhausted (" +
+            std::to_string(trip.elapsed_seconds) + "s elapsed)";
+      break;
+    case LimitKind::kStepCap:
+      out = "step budget exhausted (" + std::to_string(trip.steps) +
+            " steps)";
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+CancelledError::CancelledError(const BudgetTrip& trip)
+    : Error(trip_message(trip)), trip_(trip) {}
+
+}  // namespace stgcheck

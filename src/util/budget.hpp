@@ -1,0 +1,104 @@
+// Cooperative resource governance: budgets, cancel tokens and the typed
+// unwind they trigger.
+//
+// The BDD traversals are the unbounded part of the system -- a fixpoint can
+// blow up in live nodes or wall-clock with no natural stopping point -- so
+// every long-running layer (the kernel's top-level operations, REACH's rule
+// loop, traverse()'s pass loop) polls a ResourceBudget at cheap safe points
+// and unwinds with CancelledError when a limit trips. The unwind is
+// cooperative and only ever starts at points where the manager is
+// consistent (between recursions, never inside one), so a tripped check
+// leaves the kernel invariant-clean and reusable: the daemon frees the
+// session's slot and keeps serving.
+//
+// A budget of all zeroes (and no token) is unlimited and costs one
+// predictable branch per safe point.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace stgcheck {
+
+/// Which limit ended a run. The names double as wire strings in event
+/// records and protocol replies (to_string below).
+enum class LimitKind {
+  kCancelled,  ///< explicit CancelToken::cancel()
+  kNodeCap,    ///< live BDD nodes exceeded ResourceBudget::max_live_nodes
+  kDeadline,   ///< wall clock exceeded ResourceBudget::max_seconds
+  kStepCap,    ///< traversal passes / REACH iterations exceeded max_steps
+};
+
+const char* to_string(LimitKind kind);
+/// Parses a limit name as printed by to_string ('-' and '_'
+/// interchangeable); nullopt for unknown names.
+std::optional<LimitKind> parse_limit_kind(std::string_view name);
+/// Every valid limit name, comma-separated -- for error messages.
+std::string valid_limit_kind_names();
+
+/// Gauges captured at the moment a limit tripped. Carried by
+/// CancelledError up the stack and rendered into the typed
+/// resource_exhausted / cancelled event records.
+struct BudgetTrip {
+  LimitKind kind = LimitKind::kCancelled;
+  std::size_t live_nodes = 0;     ///< manager live-node count at the trip
+  double elapsed_seconds = 0.0;   ///< since the budget was armed
+  std::size_t steps = 0;          ///< budget steps counted so far
+};
+
+/// A shared cancellation flag: the requesting side (a daemon connection
+/// thread handling a `cancel` op) sets it, the running side polls it at
+/// safe points. Sharing is by shared_ptr so the flag outlives whichever
+/// side finishes first.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Limits for one check. Zero (or a null token) means unlimited for that
+/// axis; a default-constructed budget is fully unlimited.
+struct ResourceBudget {
+  /// Trip once the manager's live-node count exceeds this.
+  std::size_t max_live_nodes = 0;
+  /// Trip once this much wall-clock time elapsed since the budget was
+  /// armed (Manager::set_budget).
+  double max_seconds = 0.0;
+  /// Trip once this many budget steps were counted. A step is one
+  /// traversal pass or one REACH saturation-loop iteration -- coarse
+  /// progress, not node allocations.
+  std::size_t max_steps = 0;
+  /// Explicit cancellation; null when the check is not cancellable.
+  std::shared_ptr<CancelToken> token;
+
+  bool unlimited() const {
+    return max_live_nodes == 0 && max_seconds == 0.0 && max_steps == 0 &&
+           token == nullptr;
+  }
+};
+
+/// The cooperative unwind: thrown from a budget safe point when a limit
+/// trips. Derives from Error so existing catch sites keep working, but
+/// layers that understand governance (CheckSession) catch it specifically
+/// and turn it into a typed outcome instead of a failure.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const BudgetTrip& trip);
+
+  const BudgetTrip& trip() const { return trip_; }
+
+ private:
+  BudgetTrip trip_;
+};
+
+}  // namespace stgcheck

@@ -97,6 +97,67 @@ TEST(ServerProtocol, SessionOptionsRejectUnknownKeysAndValues) {
   EXPECT_THROW(parse_session_options(bad_nodes), ModelError);
 }
 
+TEST(ServerProtocol, VersionNegotiation) {
+  // Unversioned and current-version requests parse; future versions are
+  // rejected with the typed code so an old daemon fails loudly.
+  EXPECT_EQ(parse_request(R"({"op":"ping","version":2})").op,
+            Request::Op::kPing);
+  EXPECT_EQ(parse_request(R"({"op":"ping","version":1})").op,
+            Request::Op::kPing);
+  try {
+    parse_request(R"({"op":"ping","version":3})");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupportedVersion);
+  }
+  EXPECT_THROW(parse_request(R"({"op":"ping","version":0})"), ModelError);
+  EXPECT_THROW(parse_request(R"({"op":"ping","version":1.5})"), ModelError);
+}
+
+TEST(ServerProtocol, ParseCancelAndSessionStatus) {
+  const Request cancel = parse_request(R"({"op":"cancel","session":"s7"})");
+  EXPECT_EQ(cancel.op, Request::Op::kCancel);
+  EXPECT_EQ(cancel.session_id, "s7");
+  EXPECT_THROW(parse_request(R"({"op":"cancel"})"), ModelError);
+
+  EXPECT_EQ(parse_request(R"({"op":"status"})").session_id, "");
+  EXPECT_EQ(parse_request(R"({"op":"status","session":"s7"})").session_id,
+            "s7");
+}
+
+TEST(ServerProtocol, ErrorCodesAreStableWireNames) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kUnsupportedVersion,
+        ErrorCode::kBadNet, ErrorCode::kDuplicateSession,
+        ErrorCode::kUnknownSession, ErrorCode::kSessionFinished,
+        ErrorCode::kSessionFailed}) {
+    const auto parsed = parse_error_code(to_string(code));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(parse_error_code("not_a_code").has_value());
+
+  const Value line =
+      Value::parse(error_line(ErrorCode::kUnknownSession, "no such", "s1"));
+  EXPECT_EQ(line.at("reply").as_string(), "error");
+  EXPECT_EQ(line.at("code").as_string(), "unknown_session");
+  EXPECT_EQ(line.at("session").as_string(), "s1");
+  EXPECT_EQ(line.at("message").as_string(), "no such");
+}
+
+TEST(ServerProtocol, TripToJsonCarriesGauges) {
+  BudgetTrip trip;
+  trip.kind = LimitKind::kNodeCap;
+  trip.live_nodes = 12345;
+  trip.elapsed_seconds = 0.5;
+  trip.steps = 7;
+  const Value obj = trip_to_json(trip);
+  EXPECT_EQ(obj.at("limit").as_string(), "node_cap");
+  EXPECT_EQ(obj.at("live_nodes").as_number(), 12345.0);
+  EXPECT_EQ(obj.at("elapsed_seconds").as_number(), 0.5);
+  EXPECT_EQ(obj.at("steps").as_number(), 7.0);
+}
+
 TEST(ServerProtocol, EventLineRoundTrips) {
   core::EventRecord record;
   record.kind = core::EventKind::kVerdict;
@@ -362,6 +423,242 @@ TEST(ServerDaemon, RejectsDuplicateIdsAndBadNets) {
   }
   EXPECT_TRUE(saw_duplicate_error);
   EXPECT_EQ(results, 1u);
+
+  ::close(fd);
+  server.stop();
+  server.wait();
+}
+
+TEST(ServerDaemon, VersionedRepliesAndErrorCodes) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("ver");
+  options.threads = 1;
+  CheckServer server(options);
+  server.start();
+
+  const int fd = connect_client(options.socket_path);
+  LineReader reader(fd);
+
+  // ping/status replies carry the server's version.
+  send_line(fd, R"({"op":"ping","version":2})");
+  auto line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  Value reply = Value::parse(*line);
+  EXPECT_EQ(reply.at("reply").as_string(), "pong");
+  EXPECT_EQ(reply.at("version").as_number(), double(kProtocolVersion));
+
+  send_line(fd, R"({"op":"status"})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(Value::parse(*line).at("version").as_number(),
+            double(kProtocolVersion));
+
+  // A request from the future is refused with the typed code -- and the
+  // connection stays usable.
+  send_line(fd, R"({"op":"ping","version":99})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  reply = Value::parse(*line);
+  EXPECT_EQ(reply.at("reply").as_string(), "error");
+  EXPECT_EQ(reply.at("code").as_string(), "unsupported_version");
+
+  send_line(fd, R"({"op":"frobnicate"})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(Value::parse(*line).at("code").as_string(), "bad_request");
+
+  send_line(fd, R"({"op":"ping"})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(Value::parse(*line).at("reply").as_string(), "pong");
+
+  ::close(fd);
+  server.stop();
+  server.wait();
+}
+
+TEST(ServerDaemon, NodeBudgetExhaustionFreesSlotAndKeepsServing) {
+  // The acceptance path: a check with a tiny node budget answers a typed
+  // resource_exhausted result (no crash, no report), its slot frees, and
+  // the same connection immediately runs a normal check to completion.
+  ServerOptions options;
+  options.socket_path = test_socket_path("budget");
+  options.threads = 1;
+  CheckServer server(options);
+  server.start();
+
+  const int fd = connect_client(options.socket_path);
+  LineReader reader(fd);
+
+  const std::string net = stg::write_astg_string(testutil::example_net(3));
+
+  Value governed = Value::object();
+  governed.set("op", Value("check"));
+  governed.set("id", Value("capped"));
+  governed.set("net", Value(net));
+  Value opts = Value::object();
+  opts.set("max_live_nodes", Value(64));
+  governed.set("options", std::move(opts));
+  send_line(fd, governed.dump());
+
+  bool saw_exhausted_event = false;
+  for (;;) {
+    const auto line = reader.next();
+    ASSERT_TRUE(line.has_value()) << "stream ended before result";
+    const Value reply = Value::parse(*line);
+    if (const Value* event = reply.find("event")) {
+      if (event->as_string() == "resource_exhausted") {
+        saw_exhausted_event = true;
+        EXPECT_EQ(reply.at("label").as_string(), "node_cap");
+      }
+      continue;
+    }
+    ASSERT_EQ(reply.at("reply").as_string() == "error", false) << *line;
+    if (reply.at("reply").as_string() == "accepted") continue;
+    ASSERT_EQ(reply.at("reply").as_string(), "result");
+    EXPECT_EQ(reply.at("outcome").as_string(), "resource_exhausted");
+    EXPECT_EQ(reply.find("report"), nullptr);
+    EXPECT_EQ(reply.at("trip").at("limit").as_string(), "node_cap");
+    EXPECT_GT(reply.at("trip").at("live_nodes").as_number(), 64.0);
+    break;
+  }
+  EXPECT_TRUE(saw_exhausted_event);
+
+  // Same connection, no limits: a full report, identical to one-shot.
+  core::CheckSession oneshot(stg::parse_astg_string(net));
+  const std::string expected =
+      report_fingerprint(report_to_json(oneshot.stg(), oneshot.run()));
+
+  Value normal = Value::object();
+  normal.set("op", Value("check"));
+  normal.set("id", Value("free"));
+  normal.set("net", Value(net));
+  send_line(fd, normal.dump());
+  for (;;) {
+    const auto line = reader.next();
+    ASSERT_TRUE(line.has_value());
+    const Value reply = Value::parse(*line);
+    if (reply.find("event") != nullptr) continue;
+    if (reply.at("reply").as_string() == "accepted") continue;
+    ASSERT_EQ(reply.at("reply").as_string(), "result") << *line;
+    EXPECT_EQ(report_fingerprint(reply.at("report")), expected);
+    break;
+  }
+
+  // The bookkeeping saw both endings.
+  send_line(fd, R"({"op":"status"})");
+  const auto line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  const Value status = Value::parse(*line);
+  EXPECT_EQ(status.at("sessions").at("exhausted").as_number(), 1.0);
+  EXPECT_EQ(status.at("sessions").at("done").as_number(), 1.0);
+
+  ::close(fd);
+  server.stop();
+  server.wait();
+}
+
+TEST(ServerDaemon, CancelAndPerSessionStatusLifecycle) {
+  ServerOptions options;
+  options.socket_path = test_socket_path("cancel");
+  options.threads = 1;
+  CheckServer server(options);
+  server.start();
+
+  const int fd = connect_client(options.socket_path);
+  LineReader reader(fd);
+
+  // Unknown ids answer distinctly from finished ones.
+  send_line(fd, R"({"op":"status","session":"ghost"})");
+  auto line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(Value::parse(*line).at("code").as_string(), "unknown_session");
+
+  send_line(fd, R"({"op":"cancel","session":"ghost"})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(Value::parse(*line).at("code").as_string(), "unknown_session");
+
+  // Run one check to completion...
+  const std::string net = stg::write_astg_string(testutil::example_net(0));
+  Value check = Value::object();
+  check.set("op", Value("check"));
+  check.set("id", Value("c1"));
+  check.set("net", Value(net));
+  send_line(fd, check.dump());
+  for (;;) {
+    line = reader.next();
+    ASSERT_TRUE(line.has_value());
+    const Value reply = Value::parse(*line);
+    if (reply.find("event") != nullptr) continue;
+    if (reply.at("reply").as_string() == "accepted") continue;
+    ASSERT_EQ(reply.at("reply").as_string(), "result");
+    EXPECT_NE(reply.find("report"), nullptr);
+    break;
+  }
+
+  // ...then the finished-session ring answers status (finished, with its
+  // terminal state) and refuses cancel with the typed code.
+  send_line(fd, R"({"op":"status","session":"c1"})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  const Value finished = Value::parse(*line);
+  EXPECT_EQ(finished.at("reply").as_string(), "status");
+  EXPECT_EQ(finished.at("session").as_string(), "c1");
+  EXPECT_TRUE(finished.at("finished").as_bool());
+  EXPECT_EQ(finished.at("state").as_string(), "done");
+
+  send_line(fd, R"({"op":"cancel","session":"c1"})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(Value::parse(*line).at("code").as_string(), "session_finished");
+
+  // Cancel racing a live session: whichever side wins, the shapes agree.
+  // Either the cancel lands (reply "cancelled", result carries the
+  // governed outcome) or the session finished first (typed
+  // session_finished error, result carries a report).
+  Value racy = Value::object();
+  racy.set("op", Value("check"));
+  racy.set("id", Value("c2"));
+  racy.set("net", Value(stg::write_astg_string(testutil::example_net(1))));
+  send_line(fd, racy.dump());
+  send_line(fd, R"({"op":"cancel","session":"c2"})");
+
+  std::optional<std::string> cancel_shape;  // "cancelled" or "finished"
+  std::optional<std::string> result_shape;  // "report" or "cancelled"
+  while (!cancel_shape.has_value() || !result_shape.has_value()) {
+    line = reader.next();
+    ASSERT_TRUE(line.has_value());
+    const Value reply = Value::parse(*line);
+    if (reply.find("event") != nullptr) continue;
+    const std::string kind = reply.at("reply").as_string();
+    if (kind == "accepted") continue;
+    if (kind == "cancelled") {
+      cancel_shape = "cancelled";
+    } else if (kind == "error") {
+      EXPECT_EQ(reply.at("code").as_string(), "session_finished");
+      cancel_shape = "finished";
+    } else {
+      ASSERT_EQ(kind, "result");
+      if (reply.find("report") != nullptr) {
+        result_shape = "report";
+      } else {
+        EXPECT_EQ(reply.at("outcome").as_string(), "cancelled");
+        EXPECT_EQ(reply.at("trip").at("limit").as_string(), "cancelled");
+        result_shape = "cancelled";
+      }
+    }
+  }
+  // A cancel acknowledged before the run finished may still lose the last
+  // race to the final safe point, so "cancelled"+"report" is legal; but a
+  // governed result is only possible when the cancel was acknowledged.
+  if (*result_shape == "cancelled") EXPECT_EQ(*cancel_shape, "cancelled");
+
+  // Whatever the outcome, the slot freed and the daemon keeps serving.
+  send_line(fd, R"({"op":"status","session":"c2"})");
+  line = reader.next();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_TRUE(Value::parse(*line).at("finished").as_bool());
 
   ::close(fd);
   server.stop();
