@@ -59,14 +59,17 @@
 //                                   [--threads <n>]...
 //   --sift     only the sift-on arms  (writes BENCH_traversal.sift.json)
 //   --no-sift  only the sift-off arms (writes BENCH_traversal.nosift.json)
-//   --family   run only the named net family (muller16, mread8, mutex12,
-//              select24); repeatable. The CI bench-smoke job uses this to
-//              gate on the fast families only.
+//   --family   run only the named instance (classic: muller16, mread8,
+//              mutex12, select24; scaled: muller32/64, mutex24/48,
+//              select48/96 -- the scaled tiers run only the saturation
+//              pair, classic vs templated); repeatable. The CI
+//              bench-smoke job uses this to gate on the fast families.
 //   --threads  thread counts for the parallel-kernel axis; repeatable
 //              (default 1, 4, 8). "1" alone suppresses the thread arms.
 //   --out      override the output JSON path.
 //   (default: both arms, all families, written to BENCH_traversal.json)
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <iterator>
@@ -97,6 +100,8 @@ struct Row {
   std::size_t relation_nodes = 0; // 0 for the cofactor arms
   std::size_t units = 0;
   std::size_t scheduled_conjuncts = 0;  // factor positions (0 unscheduled)
+  std::size_t template_groups = 0;      // shared isomorphism groups (tmpl arms)
+  std::size_t template_saved_nodes = 0; // estimated nodes sharing avoided
   std::size_t reorders = 0;       // completed sift passes
   double cache_hit_rate = 0;      // computed-cache hits / lookups
   double unique_load = 0;         // unique-table nodes per bucket
@@ -109,12 +114,13 @@ std::vector<Row> g_rows;
 void record(const Row& row) {
   std::printf(
       "  %-22s thr=%zu passes=%4zu images=%6zu peak=%8zu live-peak=%8zu "
-      "inter=%8zu rel=%6zu units=%4zu conj=%3zu reorders=%2zu hit=%.3f "
-      "load=%.2f time=%7.3fs states=%.3e\n",
+      "inter=%8zu rel=%6zu units=%4zu conj=%3zu tgrp=%3zu tsave=%6zu "
+      "reorders=%2zu hit=%.3f load=%.2f time=%7.3fs states=%.3e\n",
       row.arm.c_str(), row.threads, row.passes, row.images, row.peak_reached,
       row.peak_live, row.peak_intermediate, row.relation_nodes, row.units,
-      row.scheduled_conjuncts, row.reorders, row.cache_hit_rate,
-      row.unique_load, row.seconds, row.states);
+      row.scheduled_conjuncts, row.template_groups, row.template_saved_nodes,
+      row.reorders, row.cache_hit_rate, row.unique_load, row.seconds,
+      row.states);
   std::fflush(stdout);
   g_rows.push_back(row);
 }
@@ -144,22 +150,25 @@ void run_cofactor_arm(const stg::Stg& s, const std::string& name,
              sym.manager().peak_live_nodes(),
              engine.stats().peak_intermediate_nodes,
              engine.stats().relation_nodes, engine.stats().units,
-             engine.stats().scheduled_conjuncts, sym.manager().reorder_epoch(),
-             ms.cache_hit_rate(), ms.unique_load_factor(), watch.seconds(),
-             r.stats.states});
+             engine.stats().scheduled_conjuncts,
+             /*template_groups=*/0, /*template_saved_nodes=*/0,
+             sym.manager().reorder_epoch(), ms.cache_hit_rate(),
+             ms.unique_load_factor(), watch.seconds(), r.stats.states});
 }
 
 void run_relation_arm(const stg::Stg& s, const std::string& name,
                       core::EngineKind kind, core::TraversalStrategy strategy,
                       bool sift,
                       core::ScheduleKind schedule = core::ScheduleKind::kNone,
-                      std::size_t threads = 1) {
+                      std::size_t threads = 1,
+                      core::TemplateMode templates = core::TemplateMode::kOff) {
   Stopwatch watch;
   core::SymbolicStg sym(s, core::Ordering::kInterleaved, 1 << 14,
                         /*with_primed_vars=*/true);
   core::EngineOptions engine_options;
   engine_options.schedule = schedule;
   engine_options.threads = threads;
+  engine_options.relation_templates = templates;
   const std::unique_ptr<core::ImageEngine> engine =
       core::make_engine(kind, sym, engine_options);
   core::TraversalOptions options = arm_options(strategy, sift, schedule);
@@ -174,17 +183,39 @@ void run_relation_arm(const stg::Stg& s, const std::string& name,
              sym.manager().peak_live_nodes(),
              engine->stats().peak_intermediate_nodes,
              engine->stats().relation_nodes, engine->stats().units,
-             engine->stats().scheduled_conjuncts, sym.manager().reorder_epoch(),
+             engine->stats().scheduled_conjuncts,
+             engine->stats().template_groups,
+             engine->stats().template_saved_nodes,
+             sym.manager().reorder_epoch(),
              ms.cache_hit_rate(), ms.unique_load_factor(), watch.seconds(),
              r.stats.states});
 }
 
 void run(const stg::Stg& s, bool sift_off, bool sift_on,
-         const std::vector<std::size_t>& thread_axis) {
+         const std::vector<std::size_t>& thread_axis, bool scaled) {
   std::printf("--- %s ---\n", s.name().c_str());
   std::vector<bool> toggles;
   if (sift_off) toggles.push_back(false);
   if (sift_on) toggles.push_back(true);
+  // The scaled tiers (muller32/64, mutex24/48, select48/96) exist to
+  // measure template sharing at size, not to re-litigate the full
+  // ablation: they run only the saturation pair (classic vs templated),
+  // whose wall-clock stays in seconds where the frontier arms would take
+  // minutes to hours.
+  if (scaled) {
+    for (const bool sift : toggles) {
+      const char* suffix = sift ? "+sift" : "";
+      run_relation_arm(s, std::string("saturation") + suffix,
+                       core::EngineKind::kSaturation,
+                       core::TraversalStrategy::kChaining, sift);
+      run_relation_arm(s, std::string("saturation tmpl") + suffix,
+                       core::EngineKind::kSaturation,
+                       core::TraversalStrategy::kChaining, sift,
+                       core::ScheduleKind::kNone, /*threads=*/1,
+                       core::TemplateMode::kOn);
+    }
+    return;
+  }
   for (const bool sift : toggles) {
     const char* suffix = sift ? "+sift" : "";
     run_cofactor_arm(s, std::string("chaining (Fig.5)") + suffix,
@@ -214,6 +245,17 @@ void run(const stg::Stg& s, bool sift_off, bool sift_on,
     run_relation_arm(s, std::string("saturation") + suffix,
                      core::EngineKind::kSaturation,
                      core::TraversalStrategy::kChaining, sift);
+    // The templated saturation arm: isomorphic relations share one
+    // template body (EngineOptions::relation_templates), fired in place
+    // by the kernel's level-shift mechanism. Reached sets and state
+    // counts are bit-identical to the classic saturation arm; the
+    // relation_nodes / template_saved_nodes columns show what sharing
+    // buys.
+    run_relation_arm(s, std::string("saturation tmpl") + suffix,
+                     core::EngineKind::kSaturation,
+                     core::TraversalStrategy::kChaining, sift,
+                     core::ScheduleKind::kNone, /*threads=*/1,
+                     core::TemplateMode::kOn);
   }
   // The parallel-kernel axis: the two winner arms (in-kernel saturation
   // and the scheduled monolithic product) rerun with the work-stealing
@@ -243,6 +285,16 @@ void write_json(const char* path) {
   std::fputs("[\n", f);
   for (std::size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];
+    // A state count beyond double range (select96's sat_count multiplies
+    // by 2^vars past 1e308) prints as "inf", which no JSON parser takes;
+    // spell it the way Python's json module reads back.
+    char states_buf[32];
+    if (std::isfinite(r.states)) {
+      std::snprintf(states_buf, sizeof states_buf, "%.6e", r.states);
+    } else {
+      std::snprintf(states_buf, sizeof states_buf, "%s",
+                    r.states > 0 ? "Infinity" : "-Infinity");
+    }
     std::fprintf(f,
                  "  {\"family\": \"%s\", \"arm\": \"%s\", \"sift\": %s, "
                  "\"schedule\": \"%s\", \"threads\": %zu, \"passes\": %zu, "
@@ -250,15 +302,17 @@ void write_json(const char* path) {
                  "\"peak_live_nodes\": %zu, \"peak_intermediate_nodes\": %zu, "
                  "\"relation_nodes\": %zu, "
                  "\"units\": %zu, \"scheduled_conjuncts\": %zu, "
+                 "\"template_groups\": %zu, \"template_saved_nodes\": %zu, "
                  "\"reorders\": %zu, "
                  "\"cache_hit_rate\": %.4f, \"unique_table_load\": %.4f, "
-                 "\"seconds\": %.6f, \"states\": %.6e}%s\n",
+                 "\"seconds\": %.6f, \"states\": %s}%s\n",
                  r.family.c_str(), r.arm.c_str(), r.sift ? "true" : "false",
                  r.schedule.c_str(), r.threads, r.passes, r.images,
                  r.peak_reached,
                  r.peak_live, r.peak_intermediate, r.relation_nodes, r.units,
-                 r.scheduled_conjuncts, r.reorders, r.cache_hit_rate,
-                 r.unique_load, r.seconds, r.states,
+                 r.scheduled_conjuncts, r.template_groups,
+                 r.template_saved_nodes, r.reorders, r.cache_hit_rate,
+                 r.unique_load, r.seconds, states_buf,
                  i + 1 < g_rows.size() ? "," : "");
   }
   std::fputs("]\n", f);
@@ -315,29 +369,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sift and --no-sift are mutually exclusive\n");
     return 1;
   }
-  // One table drives both --family validation and the dispatch below.
-  const struct {
-    const char* name;
-    stg::Stg (*make)();
-  } kFamilies[] = {
-      {"muller16", [] { return stg::muller_pipeline(16); }},
-      {"mread8", [] { return stg::master_read(8); }},
-      {"mutex12", [] { return stg::mutex_arbiter(12); }},
-      {"select24", [] { return stg::select_chain(24); }},
+  // The shared roster (stg::family_instances) drives --family validation
+  // and the dispatch: the classic sizes run the full ablation, the scaled
+  // tiers run the saturation pair only (see run()).
+  const auto is_classic = [](const std::string& name) {
+    return name == "muller16" || name == "mread8" || name == "mutex12" ||
+           name == "select24";
   };
   for (const std::string& f : families) {
     const bool known =
-        std::any_of(std::begin(kFamilies), std::end(kFamilies),
-                    [&](const auto& fam) { return f == fam.name; });
+        std::any_of(stg::family_instances().begin(),
+                    stg::family_instances().end(),
+                    [&](const stg::FamilyInstance& fam) { return f == fam.name; });
     if (!known) {
       std::fprintf(stderr, "unknown family '%s'\n", f.c_str());
       return 1;
     }
   }
   std::puts("=== Traversal strategy ablation (Fig. 5) ===");
-  for (const auto& fam : kFamilies) {
+  for (const stg::FamilyInstance& fam : stg::family_instances()) {
     if (family_selected(families, fam.name)) {
-      run(fam.make(), sift_off, sift_on, thread_axis);
+      run(fam.make(fam.n), sift_off, sift_on, thread_axis,
+          /*scaled=*/!is_classic(fam.name));
     }
   }
   if (out_path != nullptr) {

@@ -18,6 +18,11 @@
 //                       back to none when its relation is cheap to build)
 //     --threads   N     BDD kernel worker threads (1 = exact sequential
 //                       kernel, bit-identical results at any count)
+//     --relation-templates M  off | on | auto (saturation backend: share
+//                       one template BDD across structurally isomorphic
+//                       transition relations, fired in place by the
+//                       kernel's level-shift mechanism; auto enables it
+//                       only when some isomorphism group has >= 2 members)
 //     --initial-nodes N   initial node capacity of the BDD manager
 //     --max-live-nodes N  resource budget: live-node cap (0 = unlimited)
 //     --max-seconds   S   resource budget: wall-clock deadline
@@ -70,6 +75,8 @@ void usage() {
       "  --engine    E     cofactor | monolithic | partitioned | saturation\n"
       "  --schedule  C     none | support-overlap | bounded-lookahead\n"
       "  --threads   N     BDD kernel worker threads (1 = sequential)\n"
+      "  --relation-templates M  off | on | auto (share isomorphic\n"
+      "                    transition relations in the saturation backend)\n"
       "  --initial-nodes N   initial BDD manager capacity\n"
       "  --max-live-nodes N  budget: live-node cap (0 = unlimited)\n"
       "  --max-seconds   S   budget: wall-clock deadline\n"

@@ -233,12 +233,51 @@ Bdd Manager::permute(const Bdd& f, const std::vector<Var>& perm) {
         monotone && (i == 0 || var2level_[perm[sup[i - 1]]] < var2level_[w]);
   }
   if (identity) return f;
+  // Cross-call memo: instantiating the same substitution of the same root
+  // twice -- a template stamped out at one position per instance, then
+  // again for a preimage -- is a lookup, not a second traversal (the
+  // non-monotone path redoes a full ITE composition otherwise). The key is
+  // support-restricted, because mappings differing only outside the
+  // support are the same substitution, and stored in full so a hash
+  // collision misses instead of lying. Entries are dropped with the
+  // computed caches, so a GC'd or reordered result never resurfaces.
+  std::vector<NodeRef> key;
+  key.reserve(sup.size() * 2 + 1);
+  key.push_back(f.ref());
+  for (const Var v : sup) {
+    key.push_back(static_cast<NodeRef>(v));
+    key.push_back(static_cast<NodeRef>(perm[v]));
+  }
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const NodeRef k : key) {
+    h ^= (static_cast<std::uint64_t>(k) + 0x517cc1b727220a95ULL) *
+         0xff51afd7ed558ccdULL;
+    h = (h << 13) | (h >> 51);
+  }
+  h ^= h >> 33;
+  ++hot().cache_lookups;
+  if (!permute_cache_.empty()) {
+    const PermuteCacheEntry& e =
+        permute_cache_[static_cast<std::size_t>(h) & permute_cache_mask_];
+    if (e.result != kInvalidRef && e.key == key) {
+      ++hot().cache_hits;
+      return make_handle(e.result);
+    }
+  }
   std::unordered_map<NodeRef, NodeRef> memo;
   // A rename that preserves relative level order rebuilds the graph in one
   // top-down pass; anything else needs the level-aware composition.
   Bdd result = make_handle(monotone
                                ? permute_rec(f.ref(), perm, memo)
                                : permute_general_rec(f.ref(), perm, memo));
+  if (permute_cache_.empty()) {
+    permute_cache_.resize(kPermuteCacheSize);
+    permute_cache_mask_ = kPermuteCacheSize - 1;
+  }
+  PermuteCacheEntry& e =
+      permute_cache_[static_cast<std::size_t>(h) & permute_cache_mask_];
+  e.key = std::move(key);
+  e.result = result.ref();
   maybe_gc();
   return result;
 }

@@ -10,8 +10,9 @@
 //
 // Layers:
 //   check          -- everything check_implementability takes (ordering,
-//                     strategy, engine, schedule, threads, arbitration
-//                     pairs), minus the event log the session injects;
+//                     strategy, engine, schedule, threads, relation
+//                     templates, arbitration pairs), minus the event log
+//                     the session injects;
 //   initial_nodes  -- initial node capacity of the session's manager;
 //   limits         -- the resource budget (util/budget.hpp) the session
 //                     arms on its manager for the duration of the check.
@@ -19,9 +20,9 @@
 // Wire form (the daemon's "options" object and `stg_check --json` input;
 // all members optional, unknown keys rejected):
 //   {"ordering":"interleaved","strategy":"chaining","engine":"cofactor",
-//    "schedule":"none","threads":1,"arbitrate":[["g1","g2"]],
-//    "initial_nodes":16384,"max_live_nodes":0,"max_seconds":0,
-//    "max_steps":0}
+//    "schedule":"none","threads":1,"relation_templates":"off",
+//    "arbitrate":[["g1","g2"]],"initial_nodes":16384,"max_live_nodes":0,
+//    "max_seconds":0,"max_steps":0}
 //
 // to_json()/to_args() emit only non-default members, so defaults
 // round-trip as the empty object / empty flag list and rendered requests
@@ -70,8 +71,9 @@ struct CheckConfig {
   /// If args[i] is a config flag, consumes it (and its value, advancing
   /// i) and returns true; returns false on anything else. Throws
   /// ModelError on a missing or malformed value. Flags:
-  ///   --ordering --strategy --engine --schedule --threads --arbitrate
-  ///   --initial-nodes --max-live-nodes --max-seconds --max-steps
+  ///   --ordering --strategy --engine --schedule --threads
+  ///   --relation-templates --arbitrate --initial-nodes --max-live-nodes
+  ///   --max-seconds --max-steps
   bool consume_flag(const std::vector<std::string>& args, std::size_t& i);
 
   /// Parses a vector that must consist solely of config flags. Throws

@@ -95,6 +95,17 @@ class SaturationEngine final : public ImageEngine {
   const std::vector<LevelClusterInfo>& partition() const { return partition_; }
   /// Completed kernel reach() calls.
   std::size_t reach_calls() const { return reach_calls_; }
+  /// True when relation-template sharing is live: isomorphic relations
+  /// were detected (EngineOptions::relation_templates) and every
+  /// non-representative dropped its own BDD in favour of the group's
+  /// template body (fired in place via ReachRelation::shift when the
+  /// instance sits at a uniform level displacement, stamped out through
+  /// the memoized Manager::permute otherwise). kAuto leaves this false --
+  /// and the engine bit-identical to kOff -- when no group has two
+  /// members.
+  bool templates_active() const { return templates_active_; }
+  /// The detection result backing the active sharing (empty when off).
+  const RelationTemplates& templates() const { return templates_; }
 
  protected:
   void on_reorder() override;
@@ -104,9 +115,17 @@ class SaturationEngine final : public ImageEngine {
     return schedule_.positions[u].conjunct;
   }
   const SparseApplyData& sparse_apply(pn::TransitionId t);
+  /// Cluster c's relation BDD: its own body when it has one, the group
+  /// template instantiated at c's position (memoized permute) when
+  /// template sharing dropped it. Singleton clusters index like
+  /// transitions, so `c` doubles as the TransitionId for image_via /
+  /// preimage_via.
+  bdd::Bdd instance_rel(std::size_t c);
+  void refresh_node_stats();
   void rebuild_partition();
 
   ScheduleKind schedule_kind_;
+  TemplateMode template_mode_;
   std::vector<TransitionRelation> sparse_;     // indexed by transition
   std::vector<SparseApplyData> sparse_apply_;  // per transition, lazily built
   std::vector<RelationCluster> clusters_;
@@ -115,6 +134,11 @@ class SaturationEngine final : public ImageEngine {
   /// The clusters as kernel reach operands, in partition order.
   std::vector<bdd::ReachRelation> reach_relations_;
   std::size_t reach_calls_ = 0;
+  bool templates_active_ = false;
+  RelationTemplates templates_;
+  /// Per cluster: index of its group's representative (itself when it is
+  /// one, or when sharing is off).
+  std::vector<std::size_t> rep_of_;
 };
 
 }  // namespace stgcheck::core

@@ -199,6 +199,39 @@ Stg select_chain(std::size_t n) {
 }
 
 // ---------------------------------------------------------------------------
+// Named family instances
+// ---------------------------------------------------------------------------
+
+const std::vector<FamilyInstance>& family_instances() {
+  static const std::vector<FamilyInstance> kInstances = {
+      {"muller16", muller_pipeline, 16},
+      {"muller32", muller_pipeline, 32},
+      {"muller64", muller_pipeline, 64},
+      {"mread8", master_read, 8},
+      {"mutex12", mutex_arbiter, 12},
+      {"mutex24", mutex_arbiter, 24},
+      {"mutex48", mutex_arbiter, 48},
+      {"select24", select_chain, 24},
+      {"select48", select_chain, 48},
+      {"select96", select_chain, 96},
+  };
+  return kInstances;
+}
+
+Stg make_family_instance(std::string_view name) {
+  for (const FamilyInstance& f : family_instances()) {
+    if (name == f.name) return f.make(f.n);
+  }
+  std::string valid;
+  for (const FamilyInstance& f : family_instances()) {
+    if (!valid.empty()) valid += ", ";
+    valid += f.name;
+  }
+  throw ModelError("unknown family instance '" + std::string(name) +
+                   "' (valid: " + valid + ")");
+}
+
+// ---------------------------------------------------------------------------
 // Fixed example nets
 // ---------------------------------------------------------------------------
 

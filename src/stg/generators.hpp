@@ -24,6 +24,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
+#include <vector>
 
 #include "stg/stg.hpp"
 
@@ -45,6 +47,33 @@ Stg mutex_arbiter(std::size_t n);
 /// n >= 1 stages. Signals per stage i: inputs "x<i>", "y<i>", output
 /// "z<i>". A single control token makes the state count linear in n.
 Stg select_chain(std::size_t n);
+
+// ---------------------------------------------------------------------------
+// Named family instances
+// ---------------------------------------------------------------------------
+//
+// The traversal bench and the scaled-family tests agree on one roster of
+// concrete instances per family, each with a component-count axis: the
+// classic sizes (muller16, mread8, mutex12, select24) plus scaled tiers
+// (muller32/64, mutex24/48, select48/96) whose repeated stages are what
+// the isomorphic relation templates exploit. Keeping the roster here --
+// instead of a table local to the bench -- lets tests pin the same
+// instances the bench rows are gated on.
+
+/// One roster entry: the printable name, the generator, and its size
+/// argument ("muller32" is muller_pipeline(32)).
+struct FamilyInstance {
+  const char* name;
+  Stg (*make)(std::size_t);
+  std::size_t n;
+};
+
+/// The full roster, classic sizes first within each family.
+const std::vector<FamilyInstance>& family_instances();
+
+/// Builds the named instance; throws ModelError naming the valid choices
+/// for an unknown name.
+Stg make_family_instance(std::string_view name);
 
 namespace examples {
 

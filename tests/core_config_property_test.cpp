@@ -29,6 +29,8 @@ CheckConfig random_config(std::mt19937& rng) {
   config.check.engine = static_cast<EngineKind>(pick(4));
   config.check.engine_options.schedule = static_cast<ScheduleKind>(pick(3));
   config.check.engine_options.threads = 1 + static_cast<std::size_t>(pick(8));
+  config.check.engine_options.relation_templates =
+      static_cast<TemplateMode>(pick(3));
   const int pairs = pick(3);
   for (int p = 0; p < pairs; ++p) {
     config.check.arbitration_pairs.emplace_back(
@@ -108,6 +110,7 @@ TEST(CheckConfigProperty, BadValuesAreRejected) {
   bad_json("strategy", Value(std::string("guess")));
   bad_json("engine", Value(std::string("steam")));
   bad_json("schedule", Value(std::string("sometimes")));
+  bad_json("relation_templates", Value(std::string("maybe")));
   bad_json("threads", Value(0.0));
   bad_json("threads", Value(1.5));
   bad_json("initial_nodes", Value(0.0));
@@ -123,6 +126,8 @@ TEST(CheckConfigProperty, BadValuesAreRejected) {
     EXPECT_THROW(CheckConfig::from_json(obj), ModelError);
   }
 
+  EXPECT_THROW(CheckConfig::from_args({"--relation-templates", "perhaps"}),
+               ModelError);
   EXPECT_THROW(CheckConfig::from_args({"--threads", "zero"}), ModelError);
   EXPECT_THROW(CheckConfig::from_args({"--threads"}), ModelError);  // no value
   EXPECT_THROW(CheckConfig::from_args({"--max-seconds", "-2"}), ModelError);
@@ -134,11 +139,13 @@ TEST(CheckConfigProperty, FlagSpellingMatchesWireSpelling) {
   // The same names work dashed on the CLI and underscored on the wire.
   const CheckConfig from_flags = CheckConfig::from_args(
       {"--ordering", "signals-first", "--engine", "partitioned",
-       "--schedule", "support-overlap", "--max-live-nodes", "4096"});
+       "--schedule", "support-overlap", "--relation-templates", "auto",
+       "--max-live-nodes", "4096"});
   Value obj = Value::object();
   obj.set("ordering", Value(std::string("signals_first")));
   obj.set("engine", Value(std::string("partitioned")));
   obj.set("schedule", Value(std::string("support_overlap")));
+  obj.set("relation_templates", Value(std::string("auto")));
   obj.set("max_live_nodes", Value(4096.0));
   EXPECT_EQ(from_flags, CheckConfig::from_json(obj));
 }

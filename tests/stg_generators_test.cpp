@@ -1,8 +1,16 @@
-// Generator families: structural invariants and reachable-state growth.
+// Generator families: structural invariants, reachable-state growth, and
+// the named roster of scaled instances the bench and CI pin.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "core/saturation.hpp"
+#include "core/traversal.hpp"
 #include "petri/reachability.hpp"
 #include "petri/structural.hpp"
+#include "stg/astg_io.hpp"
 #include "stg/generators.hpp"
 #include "util/error.hpp"
 
@@ -119,6 +127,101 @@ TEST_P(SelectChain, LinearStateCount) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SelectChain, ::testing::Values(1, 2, 3, 6));
+
+// ---------------------------------------------------------------------------
+// The named family roster (scaled component-count axis)
+// ---------------------------------------------------------------------------
+
+TEST(FamilyRoster, ContainsClassicAndScaledTiers) {
+  std::set<std::string> names;
+  for (const FamilyInstance& f : family_instances()) {
+    EXPECT_TRUE(names.insert(f.name).second) << "duplicate " << f.name;
+  }
+  for (const char* required :
+       {"muller16", "muller32", "muller64", "mread8", "mutex12", "mutex24",
+        "mutex48", "select24", "select48", "select96"}) {
+    EXPECT_EQ(names.count(required), 1u) << required;
+  }
+}
+
+TEST(FamilyRoster, MakeFamilyInstanceMatchesTheTable) {
+  for (const FamilyInstance& f : family_instances()) {
+    const Stg by_name = make_family_instance(f.name);
+    const Stg by_table = f.make(f.n);
+    EXPECT_EQ(by_name.signal_count(), by_table.signal_count()) << f.name;
+    EXPECT_EQ(by_name.net().transition_count(),
+              by_table.net().transition_count())
+        << f.name;
+    EXPECT_EQ(by_name.net().place_count(), by_table.net().place_count())
+        << f.name;
+  }
+  EXPECT_THROW(make_family_instance("muller17"), ModelError);
+  EXPECT_THROW(make_family_instance(""), ModelError);
+}
+
+TEST(FamilyRoster, ScaledStateCountsMatchClosedForms) {
+  // Closed forms, symbolically countable where explicit exploration is
+  // infeasible: muller_pipeline(n) has 2^(n+1) states, mutex_arbiter(n)
+  // has 2^n (1 + n), select_chain(n) has 7 n. The muller and mutex counts
+  // are exact in a double (few significant bits).
+  const struct {
+    const char* name;
+    double states;
+  } rows[] = {
+      {"muller16", std::ldexp(1.0, 17)},
+      {"muller32", std::ldexp(1.0, 33)},
+      {"muller64", std::ldexp(1.0, 65)},
+      {"mutex12", std::ldexp(13.0, 12)},
+      {"mutex24", std::ldexp(25.0, 24)},
+      {"mutex48", std::ldexp(49.0, 48)},
+      {"select24", 7.0 * 24},
+      {"select48", 7.0 * 48},
+  };
+  for (const auto& row : rows) {
+    Stg s = make_family_instance(row.name);
+    core::SymbolicStg sym(s, core::Ordering::kInterleaved, 1 << 14,
+                          /*with_primed_vars=*/true);
+    core::SaturationEngine engine(sym);
+    const core::TraversalResult r = core::traverse(engine);
+    ASSERT_TRUE(r.ok()) << row.name;
+    EXPECT_DOUBLE_EQ(r.stats.states, row.states) << row.name;
+  }
+  // select96's code-space count overflows a double (the bench reports it
+  // as Infinity), but its marking count is linear, so the explicit
+  // explorer covers the largest tier.
+  EXPECT_EQ(pn::explore(make_family_instance("select96").net()).size(),
+            7u * 96);
+}
+
+TEST(FamilyRoster, ScaledInstancesRoundTripThroughAstg) {
+  for (const char* name :
+       {"muller32", "muller64", "mutex24", "mutex48", "select48", "select96"}) {
+    const Stg original = make_family_instance(name);
+    const Stg reparsed = parse_astg_string(write_astg_string(original));
+    EXPECT_NO_THROW(reparsed.validate()) << name;
+    EXPECT_EQ(reparsed.name(), original.name()) << name;
+    EXPECT_EQ(reparsed.signal_count(), original.signal_count()) << name;
+    EXPECT_EQ(reparsed.net().transition_count(),
+              original.net().transition_count())
+        << name;
+    EXPECT_EQ(reparsed.net().place_count(), original.net().place_count())
+        << name;
+    for (SignalId s = 0; s < original.signal_count(); ++s) {
+      const SignalId rs = reparsed.find_signal(original.signal_name(s));
+      ASSERT_NE(rs, kNoSignal) << name;
+      EXPECT_EQ(reparsed.signal_kind(rs), original.signal_kind(s)) << name;
+      EXPECT_EQ(reparsed.initial_value(rs), original.initial_value(s)) << name;
+    }
+    // The linear select tiers are cheap to explore explicitly: the
+    // round-trip preserves the reachability graph size, not just the
+    // declarations.
+    if (std::string(name) == "select48" || std::string(name) == "select96") {
+      EXPECT_EQ(pn::explore(reparsed.net()).size(),
+                pn::explore(original.net()).size())
+          << name;
+    }
+  }
+}
 
 TEST(Examples, Mutex2MatchesFigure1Shape) {
   Stg stg = examples::mutex2();
