@@ -107,6 +107,17 @@ struct Row {
   double unique_load = 0;         // unique-table nodes per bucket
   double seconds = 0;
   double states = 0;
+  // Observability extras (profiling armed on every arm): phase timings,
+  // the pool's steal-rate, and the per-group cache hit rates that split
+  // the aggregate cache_hit_rate (binary ops / REACH / n-ary multi /
+  // permute memo -- the groups partition the aggregate exactly).
+  double gc_time_ms = 0;
+  double sift_time_ms = 0;
+  double steal_rate = 0;
+  double cache_hit_binary = 0;
+  double cache_hit_reach = 0;
+  double cache_hit_multi = 0;
+  double cache_hit_permute = 0;
 };
 
 std::vector<Row> g_rows;
@@ -141,10 +152,12 @@ void run_cofactor_arm(const stg::Stg& s, const std::string& name,
                       core::TraversalStrategy strategy, bool sift) {
   Stopwatch watch;
   core::SymbolicStg sym(s);
+  sym.manager().set_profiling(true);  // arm GC/sift phase timings
   core::CofactorEngine engine(sym);
   core::TraversalResult r = core::traverse(
       engine, arm_options(strategy, sift, core::ScheduleKind::kNone));
   const bdd::ManagerStats ms = sym.manager().stats();
+  const bdd::ManagerProfile prof = sym.manager().profile();
   record(Row{s.name(), name, sift, "none", /*threads=*/1, r.stats.passes,
              r.stats.image_computations, r.stats.peak_reached_nodes,
              sym.manager().peak_live_nodes(),
@@ -153,7 +166,11 @@ void run_cofactor_arm(const stg::Stg& s, const std::string& name,
              engine.stats().scheduled_conjuncts,
              /*template_groups=*/0, /*template_saved_nodes=*/0,
              sym.manager().reorder_epoch(), ms.cache_hit_rate(),
-             ms.unique_load_factor(), watch.seconds(), r.stats.states});
+             ms.unique_load_factor(), watch.seconds(), r.stats.states,
+             prof.gc_seconds * 1e3, prof.sift_seconds * 1e3,
+             sym.manager().pool_telemetry().steal_rate,
+             ms.binary_cache_hit_rate(), ms.reach_cache_hit_rate(),
+             ms.multi_cache_hit_rate(), ms.permute_cache_hit_rate()});
 }
 
 void run_relation_arm(const stg::Stg& s, const std::string& name,
@@ -169,12 +186,14 @@ void run_relation_arm(const stg::Stg& s, const std::string& name,
   engine_options.schedule = schedule;
   engine_options.threads = threads;
   engine_options.relation_templates = templates;
+  sym.manager().set_profiling(true);  // arm GC/sift phase timings
   const std::unique_ptr<core::ImageEngine> engine =
       core::make_engine(kind, sym, engine_options);
   core::TraversalOptions options = arm_options(strategy, sift, schedule);
   options.engine_options.threads = threads;
   core::TraversalResult r = core::traverse(*engine, options);
   const bdd::ManagerStats ms = sym.manager().stats();
+  const bdd::ManagerProfile prof = sym.manager().profile();
   // The *effective* schedule: the self-tuning monolithic engine may have
   // fallen back to none (EngineOptions::monolithic_fallback_nodes).
   record(Row{s.name(), name, sift, core::to_string(engine->schedule_kind()),
@@ -188,7 +207,11 @@ void run_relation_arm(const stg::Stg& s, const std::string& name,
              engine->stats().template_saved_nodes,
              sym.manager().reorder_epoch(),
              ms.cache_hit_rate(), ms.unique_load_factor(), watch.seconds(),
-             r.stats.states});
+             r.stats.states,
+             prof.gc_seconds * 1e3, prof.sift_seconds * 1e3,
+             sym.manager().pool_telemetry().steal_rate,
+             ms.binary_cache_hit_rate(), ms.reach_cache_hit_rate(),
+             ms.multi_cache_hit_rate(), ms.permute_cache_hit_rate()});
 }
 
 void run(const stg::Stg& s, bool sift_off, bool sift_on,
@@ -305,6 +328,10 @@ void write_json(const char* path) {
                  "\"template_groups\": %zu, \"template_saved_nodes\": %zu, "
                  "\"reorders\": %zu, "
                  "\"cache_hit_rate\": %.4f, \"unique_table_load\": %.4f, "
+                 "\"gc_time_ms\": %.3f, \"sift_time_ms\": %.3f, "
+                 "\"steal_rate\": %.4f, "
+                 "\"cache_hit_binary\": %.4f, \"cache_hit_reach\": %.4f, "
+                 "\"cache_hit_multi\": %.4f, \"cache_hit_permute\": %.4f, "
                  "\"seconds\": %.6f, \"states\": %s}%s\n",
                  r.family.c_str(), r.arm.c_str(), r.sift ? "true" : "false",
                  r.schedule.c_str(), r.threads, r.passes, r.images,
@@ -312,7 +339,9 @@ void write_json(const char* path) {
                  r.peak_live, r.peak_intermediate, r.relation_nodes, r.units,
                  r.scheduled_conjuncts, r.template_groups,
                  r.template_saved_nodes, r.reorders, r.cache_hit_rate,
-                 r.unique_load, r.seconds, states_buf,
+                 r.unique_load, r.gc_time_ms, r.sift_time_ms, r.steal_rate,
+                 r.cache_hit_binary, r.cache_hit_reach, r.cache_hit_multi,
+                 r.cache_hit_permute, r.seconds, states_buf,
                  i + 1 < g_rows.size() ? "," : "");
   }
   std::fputs("]\n", f);

@@ -4,7 +4,10 @@
 // session's report and event records. The resident form of the same
 // pipeline is stg_checkd (examples/stg_checkd.cpp).
 //
-//   usage: stg_check [options] <file.g>
+//   usage: stg_check [options] <file.g | --family NAME>
+//     --family NAME     check a generated family instance (muller16,
+//                       mread8, mutex12, ... -- the bench roster of
+//                       stg/generators.hpp) instead of a .g file
 //     --arbitrate A,B   declare an arbitration pair (repeatable; footnote 1)
 //     --ordering  O     interleaved | clustered | declaration |
 //                       signals-first | random
@@ -29,6 +32,12 @@
 //     --max-steps     N   resource budget: pass/saturation-step cap
 //                       (a tripped budget ends the check with a typed
 //                       resource_exhausted record and exit status 3)
+//     --trace FILE      record Chrome trace_event spans (traversal passes,
+//                       engine image calls, GC, sift, REACH rule firings)
+//                       and write the chrome://tracing-loadable JSON here
+//     --profile         arm kernel wall-clock profiling (per-op, GC and
+//                       sift timings in the metrics snapshot); off by
+//                       default so plain runs read no clock in the kernel
 //     --json            machine-readable output: one JSON document with
 //                       the typed event records and the full report
 //                       (field-for-field the facts of the human summary;
@@ -60,6 +69,7 @@
 #include "sg/witnesses.hpp"
 #include "stg/astg_io.hpp"
 #include "stg/dot_export.hpp"
+#include "stg/generators.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -67,7 +77,9 @@ namespace {
 
 void usage() {
   std::fputs(
-      "usage: stg_check [options] <file.g>\n"
+      "usage: stg_check [options] <file.g | --family NAME>\n"
+      "  --family NAME     check a generated family instance (muller16,\n"
+      "                    mread8, mutex12, ...) instead of a .g file\n"
       "  --arbitrate A,B   declare an arbitration signal pair (repeatable)\n"
       "  --ordering  O     interleaved | clustered | declaration |\n"
       "                    signals-first | random\n"
@@ -81,6 +93,8 @@ void usage() {
       "  --max-live-nodes N  budget: live-node cap (0 = unlimited)\n"
       "  --max-seconds   S   budget: wall-clock deadline\n"
       "  --max-steps     N   budget: pass/saturation-step cap\n"
+      "  --trace FILE      write a Chrome trace_event JSON document\n"
+      "  --profile         arm kernel wall-clock profiling\n"
       "  --json            machine-readable event records + report\n"
       "  --equations       derive and print the complex-gate netlist\n"
       "  --explain         print firing-trace witnesses for violations\n"
@@ -101,6 +115,7 @@ int main(int argc, char** argv) {
   bool dot = false;
   bool write_back = false;
   std::string path;
+  std::string family;
 
   // One pass over argv: config flags go through the unified parse path,
   // everything else is tool-local.
@@ -115,6 +130,12 @@ int main(int argc, char** argv) {
     }
     if (arg == "--json") {
       json_output = true;
+    } else if (arg == "--family") {
+      if (i + 1 >= args.size()) {
+        std::fputs("--family expects an instance name\n", stderr);
+        return 1;
+      }
+      family = args[++i];
     } else if (arg == "--equations") {
       equations = true;
     } else if (arg == "--explain") {
@@ -137,13 +158,14 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (path.empty()) {
+  if (path.empty() == family.empty()) {  // exactly one input source
     usage();
     return 1;
   }
 
   try {
-    stg::Stg spec = stg::parse_astg_file(path);
+    stg::Stg spec = family.empty() ? stg::parse_astg_file(path)
+                                   : stg::make_family_instance(family);
     spec.validate();
     if (write_back) {
       std::fputs(stg::write_astg_string(spec).c_str(), stdout);
@@ -174,6 +196,11 @@ int main(int argc, char** argv) {
         doc.set("trip", server::trip_to_json(*session.trip()));
       } else {
         doc.set("report", server::report_to_json(spec, report));
+      }
+      if (session.options().profile || session.trace() != nullptr) {
+        // Observability armed: attach the kernel/pool metrics snapshot.
+        // Plain runs keep the pre-existing document schema.
+        doc.set("metrics", session.metrics_snapshot().to_json());
       }
       std::puts(doc.dump().c_str());
     } else if (governed_stop) {

@@ -9,7 +9,11 @@
 //     --socket  PATH   daemon socket (required)
 //     --ping           round-trip check instead of submitting nets
 //     --status         print the daemon's status reply
-//     --session ID     with --status: one session's state + progress
+//     --metrics        print the daemon's cumulative metrics snapshot,
+//                      rendered as Prometheus-style text (the wire carries
+//                      JSON; see util/metrics.hpp)
+//     --session ID     with --status: one session's state + progress;
+//                      with --metrics: one finished session's snapshot
 //     --cancel  ID     cancel a queued/running session
 //     --shutdown       ask the daemon to exit
 //     --batch          force the batch op even for a single file
@@ -37,6 +41,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "util/metrics.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -46,8 +51,8 @@ void usage() {
   std::fputs(
       "usage: stg_checkd_client --socket <path> [options] [file.g ...]\n"
       "  --socket  PATH   daemon socket (required)\n"
-      "  --ping | --status | --shutdown\n"
-      "  --session ID     with --status: one session's state + progress\n"
+      "  --ping | --status | --metrics | --shutdown\n"
+      "  --session ID     with --status/--metrics: one session\n"
       "  --cancel  ID     cancel a queued/running session\n"
       "  --batch          force the batch op for a single file\n"
       "  --quiet          suppress streamed event lines\n"
@@ -94,9 +99,12 @@ void send_line(int fd, std::string line) {
 }
 
 /// Reads response lines until `done` says the request is complete.
-/// Returns false if any error reply was seen.
+/// Returns false if any error reply was seen. With `prometheus`, a
+/// "metrics" reply prints as Prometheus text exposition instead of the
+/// raw JSON line.
 template <typename DonePredicate>
-bool relay_until(int fd, bool quiet, DonePredicate done) {
+bool relay_until(int fd, bool quiet, DonePredicate done,
+                 bool prometheus = false) {
   using stgcheck::json::Value;
   std::string buffer;
   char chunk[4096];
@@ -124,7 +132,17 @@ bool relay_until(int fd, bool quiet, DonePredicate done) {
       const bool is_error = kind != nullptr && kind->as_string() == "error";
       const bool is_event = reply.find("event") != nullptr;
       if (is_error) ok = false;
-      if (!quiet || !is_event) std::puts(line.c_str());
+      const Value* snap_obj =
+          prometheus && kind != nullptr && kind->as_string() == "metrics"
+              ? reply.find("metrics")
+              : nullptr;
+      if (snap_obj != nullptr) {
+        const auto snap =
+            stgcheck::metrics::MetricsSnapshot::from_json(*snap_obj);
+        std::fputs(snap.to_prometheus().c_str(), stdout);
+      } else if (!quiet || !is_event) {
+        std::puts(line.c_str());
+      }
       if (done(reply)) return ok;
     }
   }
@@ -162,7 +180,8 @@ int main(int argc, char** argv) {
     }
     if (arg == "--socket") {
       socket_path = next_arg();
-    } else if (arg == "--ping" || arg == "--status" || arg == "--shutdown") {
+    } else if (arg == "--ping" || arg == "--status" || arg == "--metrics" ||
+               arg == "--shutdown") {
       op = arg.substr(2);
     } else if (arg == "--cancel") {
       op = "cancel";
@@ -198,15 +217,19 @@ int main(int argc, char** argv) {
       request.set("op", Value(op));
       if (!session_id.empty()) request.set("session", Value(session_id));
       send_line(fd, request.dump());
-      const std::string final_reply = op == "ping"     ? "pong"
-                                      : op == "status" ? "status"
-                                      : op == "cancel" ? "cancelled"
-                                                       : "bye";
-      ok = relay_until(fd, quiet, [&](const Value& reply) {
-        const Value* kind = reply.find("reply");
-        return kind != nullptr && (kind->as_string() == final_reply ||
-                                   kind->as_string() == "error");
-      });
+      const std::string final_reply = op == "ping"      ? "pong"
+                                      : op == "status"  ? "status"
+                                      : op == "cancel"  ? "cancelled"
+                                      : op == "metrics" ? "metrics"
+                                                        : "bye";
+      ok = relay_until(
+          fd, quiet,
+          [&](const Value& reply) {
+            const Value* kind = reply.find("reply");
+            return kind != nullptr && (kind->as_string() == final_reply ||
+                                       kind->as_string() == "error");
+          },
+          /*prometheus=*/op == "metrics" && !quiet);
     } else if (files.size() > 1 || force_batch) {
       Value nets = Value::array();
       for (const std::string& path : files) {

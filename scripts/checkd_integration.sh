@@ -5,8 +5,9 @@
 # against a one-shot `stg_check --json` run of the same net, exercise the
 # resource-governance path (a node-budgeted check answers a typed
 # resource_exhausted result, then the same daemon serves a normal check),
-# round-trip a cancel, and shut the daemon down cleanly (the process must
-# exit 0 on its own).
+# round-trip a cancel, scrape the metrics op (cumulative + per-session,
+# JSON and Prometheus renderings), and shut the daemon down cleanly (the
+# process must exit 0 on its own).
 #
 # Usage: checkd_integration.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -150,6 +151,62 @@ if reply.get("reply") == "error":
 elif reply.get("reply") != "cancelled":
     sys.exit(f"unexpected cancel reply: {reply}")
 print(f"  cancel reply: {reply.get('reply')} ({reply.get('code', 'ok')})")
+PY
+
+echo "== metrics op: saturation check, then scrape"
+# A saturation check drives the in-kernel REACH machinery; the cumulative
+# scrape must then show nonzero reach / rel_next op counters (rel_next
+# counts every saturation rule firing), and the finished session's own
+# snapshot must be served from the per-session ring.
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --quiet \
+  --engine saturation "$NETS_DIR/muller4.g" > "$WORK_DIR/sat_check.jsonl"
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --quiet \
+  --metrics > "$WORK_DIR/metrics.jsonl"
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --metrics \
+  > "$WORK_DIR/metrics.prom"
+python3 - "$WORK_DIR" <<'PY'
+import json, pathlib, sys
+
+work = pathlib.Path(sys.argv[1])
+sat = [json.loads(l) for l in (work / "sat_check.jsonl").read_text().splitlines() if l.strip()]
+session = next(d["session"] for d in sat if d.get("reply") == "result")
+
+lines = [json.loads(l) for l in (work / "metrics.jsonl").read_text().splitlines() if l.strip()]
+if len(lines) != 1 or lines[0].get("reply") != "metrics":
+    sys.exit(f"expected one metrics reply, got: {lines}")
+reply = lines[0]
+if reply.get("sessions", 0) < 1:
+    sys.exit(f"cumulative metrics folded no sessions: {reply}")
+counters = reply["metrics"]["counters"]
+for name in ("op_calls_reach", "op_calls_rel_next"):
+    if counters.get(name, 0) <= 0:
+        sys.exit(f"cumulative scrape lacks a nonzero {name}: {counters}")
+
+prom = (work / "metrics.prom").read_text()
+for needle in ("# TYPE op_calls_reach counter", "op_calls_rel_next "):
+    if needle not in prom:
+        sys.exit(f"Prometheus rendering lacks {needle!r}:\n{prom}")
+
+print(f"  cumulative: {reply['sessions']} sessions folded, "
+      f"reach={int(counters['op_calls_reach'])} "
+      f"rel_next={int(counters['op_calls_rel_next'])} "
+      f"(per-session lookup target: {session})")
+(work / "session_id").write_text(session)
+PY
+"$BUILD_DIR/stg_checkd_client" --socket "$SOCKET" --quiet \
+  --metrics --session "$(cat "$WORK_DIR/session_id")" > "$WORK_DIR/metrics_session.jsonl"
+python3 - "$WORK_DIR" <<'PY'
+import json, pathlib, sys
+
+work = pathlib.Path(sys.argv[1])
+lines = [json.loads(l) for l in (work / "metrics_session.jsonl").read_text().splitlines() if l.strip()]
+if len(lines) != 1 or lines[0].get("reply") != "metrics":
+    sys.exit(f"expected one per-session metrics reply, got: {lines}")
+counters = lines[0]["metrics"]["counters"]
+if counters.get("op_calls_reach", 0) != 1:
+    sys.exit(f"per-session snapshot should show exactly one reach call: {counters}")
+print(f"  per-session: reach={int(counters['op_calls_reach'])} "
+      f"rel_next={int(counters['op_calls_rel_next'])}")
 PY
 
 echo "== status + shutdown"

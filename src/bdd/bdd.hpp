@@ -77,6 +77,10 @@
 #include "util/budget.hpp"
 #include "util/task_pool.hpp"
 
+namespace stgcheck {
+class TraceRecorder;  // util/trace.hpp; the kernel only holds a pointer
+}
+
 namespace stgcheck::bdd {
 
 /// Attributed edge into the manager's node table: bit 0 is the complement
@@ -199,6 +203,16 @@ struct Literal {
 using CubeLiterals = std::vector<Literal>;
 
 /// Aggregate statistics for reporting and the benches.
+/// Per-operation profile slot names (ManagerProfile::ops index). The
+/// first ten mirror the kernel's internal computed-cache op tags; kPermute
+/// is the cross-call permute memo, which has no cache tag of its own.
+enum class OpKind : std::uint8_t {
+  kAnd, kXor, kIte, kExists, kAndExists, kCofactor, kRestrict,
+  kAndExistsMulti, kRelNext, kReach, kPermute,
+};
+constexpr std::size_t kOpKindCount = 11;
+const char* to_string(OpKind kind);
+
 struct ManagerStats {
   std::size_t node_count = 0;   ///< nodes in the table, including dead ones
   std::size_t live_count = 0;   ///< nodes with at least one reference
@@ -206,8 +220,23 @@ struct ManagerStats {
   std::size_t peak_live = 0;    ///< high-water mark of live_count
   std::size_t gc_runs = 0;      ///< completed garbage collections
   std::size_t unique_hits = 0;  ///< unique-table lookups that found a node
-  std::size_t cache_hits = 0;   ///< computed-cache hits
+  std::size_t cache_hits = 0;   ///< computed-cache hits, all caches summed
   std::size_t cache_lookups = 0;
+  // The aggregate above, split by cache group; the four groups partition
+  // cache_lookups/cache_hits exactly (binary + reach + multi + permute ==
+  // total, pinned by a regression test). Before the split, the striped
+  // multi-operand cache and the permute memo were indistinguishable from
+  // binary-op traffic, which skewed cache_hit_rate() on scheduled and
+  // templated runs.
+  std::size_t binary_cache_lookups = 0;  ///< And..Restrict in the main cache
+  std::size_t binary_cache_hits = 0;
+  std::size_t reach_cache_lookups = 0;  ///< RelNext + Reach traffic: the
+  std::size_t reach_cache_hits = 0;     ///< main cache's RelNext entries,
+                                        ///< the REACH cache, the shift cache
+  std::size_t multi_cache_lookups = 0;  ///< n-ary striped cache
+  std::size_t multi_cache_hits = 0;
+  std::size_t permute_cache_lookups = 0;  ///< cross-call permute memo
+  std::size_t permute_cache_hits = 0;
   std::size_t bucket_count = 0;  ///< unique-table buckets (for load factor)
   std::size_t var_count = 0;
 
@@ -218,12 +247,59 @@ struct ManagerStats {
                : static_cast<double>(cache_hits) /
                      static_cast<double>(cache_lookups);
   }
+  static double hit_rate(std::size_t hits, std::size_t lookups) {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+  double binary_cache_hit_rate() const {
+    return hit_rate(binary_cache_hits, binary_cache_lookups);
+  }
+  double reach_cache_hit_rate() const {
+    return hit_rate(reach_cache_hits, reach_cache_lookups);
+  }
+  double multi_cache_hit_rate() const {
+    return hit_rate(multi_cache_hits, multi_cache_lookups);
+  }
+  double permute_cache_hit_rate() const {
+    return hit_rate(permute_cache_hits, permute_cache_lookups);
+  }
   /// Unique-table load factor: nodes per bucket.
   double unique_load_factor() const {
     return bucket_count == 0
                ? 0.0
                : static_cast<double>(node_count) /
                      static_cast<double>(bucket_count);
+  }
+};
+
+/// One operation kind's cumulative profile (Manager::profile()).
+struct OpProfile {
+  /// Handle-level entries: public wrapper calls, plus -- for kRelNext --
+  /// every REACH saturation rule firing (the in-kernel rel_next steps a
+  /// saturation run performs without going through the wrapper).
+  std::size_t calls = 0;
+  std::size_t cache_lookups = 0;
+  std::size_t cache_hits = 0;
+  /// Wall-clock seconds inside outermost wrapper calls; 0 unless
+  /// Manager::set_profiling(true) armed the clocks.
+  double seconds = 0;
+};
+
+/// Per-op and per-phase kernel profile. Call/lookup/hit counts are always
+/// collected (they ride the per-worker hot counters the kernel maintains
+/// anyway); wall-clock phase timings cost two steady_clock reads per
+/// outermost call and are armed separately via Manager::set_profiling.
+struct ManagerProfile {
+  std::array<OpProfile, kOpKindCount> ops{};
+  std::size_t gc_runs = 0;
+  double gc_seconds = 0;   ///< inside collect_garbage (sift-triggered included)
+  std::size_t sift_runs = 0;
+  double sift_seconds = 0;  ///< inside sift() passes and explicit reorder()
+  bool timings_armed = false;
+
+  const OpProfile& op(OpKind kind) const {
+    return ops[static_cast<std::size_t>(kind)];
   }
 };
 
@@ -480,6 +556,32 @@ class Manager {
   /// Forces a garbage collection (normally triggered automatically).
   void collect_garbage();
   ManagerStats stats() const;
+
+  // ---- Observability ------------------------------------------------------
+
+  /// Arms the per-phase wall clocks (ManagerProfile seconds fields). Off
+  /// by default: the disarmed path does not read a clock anywhere, so
+  /// results and timings stay identical to a build without profiling.
+  /// Call between top-level operations.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
+  /// Attaches a trace recorder (util/trace.hpp): from now on GC, sift and
+  /// REACH rule firings open spans on it. Borrowed, not owned; null
+  /// detaches. Call between top-level operations.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
+  /// Merged per-op call/cache counters and per-phase timings. Counts are
+  /// summed over the per-worker hot blocks; timings are zero unless
+  /// set_profiling(true) armed the clocks.
+  ManagerProfile profile() const;
+
+  /// The work-stealing pool's scheduling counters; a default (empty,
+  /// zero-rate) snapshot when the kernel runs sequentially (threads = 1).
+  PoolTelemetry pool_telemetry() const {
+    return pool_ != nullptr ? pool_->telemetry() : PoolTelemetry{};
+  }
   std::size_t live_nodes() const {
     return node_count_.load(std::memory_order_relaxed) -
            dead_count_.load(std::memory_order_relaxed);
@@ -848,6 +950,40 @@ class Manager {
   std::atomic<std::size_t> window_peak_live_{0};  // reset_peak_window()
   std::size_t gc_runs_ = 0;
 
+  // Profiling state (see set_profiling). The seconds accumulators and the
+  // nesting depth are owner-thread-only: wrappers, GC and sift all run on
+  // the thread driving the manager, never inside a parallel region.
+  bool profiling_ = false;
+  int profile_depth_ = 0;  // only the outermost wrapper accumulates
+  std::array<double, kOpKindCount> op_seconds_{};
+  double gc_seconds_ = 0;
+  double sift_seconds_ = 0;
+  std::size_t sift_runs_ = 0;
+  TraceRecorder* trace_ = nullptr;  // borrowed; null = tracing disarmed
+
+  /// RAII phase clock for the public wrappers: with profiling armed, the
+  /// outermost instance on this manager accumulates its lifetime into
+  /// op_seconds_[kind]; disarmed it is two branch instructions.
+  struct ProfileTimer {
+    ProfileTimer(Manager& m, OpKind kind) : m_(m) {
+      if (m_.profiling_ && m_.profile_depth_++ == 0) {
+        slot_ = &m_.op_seconds_[op_slot(kind)];
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    ~ProfileTimer() {
+      if (slot_ != nullptr) {
+        *slot_ += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+      }
+      if (m_.profiling_) --m_.profile_depth_;
+    }
+    Manager& m_;
+    double* slot_ = nullptr;
+    std::chrono::steady_clock::time_point start_;
+  };
+
   // Unique-table buckets: head node index per bucket. Parallel insertion
   // CAS-publishes a new head with release order; chain scans start from an
   // acquire load of the head, which (insertions being RMWs that continue
@@ -859,16 +995,26 @@ class Manager {
   std::size_t cache_mask_ = 0;
 
   // Hot-path statistics, kept per worker (cache-line separated) so the
-  // parallel recursions never contend on a shared counter; stats() sums
-  // the blocks. Worker 0 is the sequential path, so threads=1 touches
-  // exactly one block -- same values as the old scalar counters.
+  // parallel recursions never contend on a shared counter; stats() and
+  // profile() sum the blocks. Worker 0 is the sequential path, so
+  // threads=1 touches exactly one block -- same values as the old scalar
+  // counters. Cache traffic and call counts are arrays indexed by OpKind,
+  // which is what makes the per-op profile free: the increment the old
+  // scalar counter paid anyway just lands in a distinguished slot.
   struct alignas(64) HotCounters {
     std::size_t unique_hits = 0;
-    std::size_t cache_hits = 0;
-    std::size_t cache_lookups = 0;
+    std::array<std::size_t, kOpKindCount> cache_hits{};
+    std::array<std::size_t, kOpKindCount> cache_lookups{};
+    std::array<std::size_t, kOpKindCount> calls{};
   };
   mutable std::array<HotCounters, kMaxThreads> hot_{};
   HotCounters& hot() const { return hot_[TaskPool::worker_index()]; }
+  static constexpr std::size_t op_slot(Op op) {
+    return static_cast<std::size_t>(op);  // Op and OpKind tags align
+  }
+  static constexpr std::size_t op_slot(OpKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
 
   // Allocated lazily on the first n-ary product; cleared with cache_.
   // Entries hold heap-allocated keys, so parallel access is striped-locked

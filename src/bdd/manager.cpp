@@ -7,6 +7,7 @@
 #include <cassert>
 
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace stgcheck::bdd {
 
@@ -463,13 +464,13 @@ std::size_t cache_key(std::uint8_t op, NodeRef f, NodeRef g, NodeRef h) {
 }  // namespace
 
 NodeRef Manager::cache_lookup(Op op, NodeRef f, NodeRef g, NodeRef h) const {
-  ++hot().cache_lookups;
+  ++hot().cache_lookups[op_slot(op)];
   const CacheEntry& e =
       cache_[cache_key(static_cast<std::uint8_t>(op), f, g, h) & cache_mask_];
   if (!parallel_active_) {
     if (e.op == op && e.f == f && e.g == g && e.h == h &&
         e.result != kInvalidRef) {
-      ++hot().cache_hits;
+      ++hot().cache_hits[op_slot(op)];
       return e.result;
     }
     return kInvalidRef;
@@ -494,7 +495,7 @@ NodeRef Manager::cache_lookup(Op op, NodeRef f, NodeRef g, NodeRef h) const {
       std::atomic_ref<std::uint32_t>(me.version).load(std::memory_order_relaxed);
   if (v1 != v2) return kInvalidRef;
   if (eop == op && ef == f && eg == g && eh == h && er != kInvalidRef) {
-    ++hot().cache_hits;
+    ++hot().cache_hits[op_slot(op)];
     return er;
   }
   return kInvalidRef;
@@ -564,7 +565,7 @@ std::size_t Manager::multi_hash(const std::vector<NodeRef>& ops,
 
 NodeRef Manager::multi_cache_lookup(const std::vector<NodeRef>& ops,
                                     NodeRef cube) const {
-  ++hot().cache_lookups;
+  ++hot().cache_lookups[op_slot(Op::kAndExistsMulti)];
   if (multi_cache_.empty()) return kInvalidRef;
   const std::size_t slot = multi_hash(ops, cube) & multi_cache_mask_;
   // Entries own heap-allocated keys, so parallel regions serialize access
@@ -583,7 +584,7 @@ NodeRef Manager::multi_cache_lookup(const std::vector<NodeRef>& ops,
       !std::equal(ops.begin(), ops.end(), e.key.begin())) {
     return kInvalidRef;
   }
-  ++hot().cache_hits;
+  ++hot().cache_hits[op_slot(Op::kAndExistsMulti)];
   return e.result;
 }
 
@@ -631,7 +632,13 @@ void Manager::maybe_gc() {
 
 void Manager::collect_garbage() {
   assert(!parallel_active_ && "GC only runs at quiescence");
-  if (dead_count_.load(std::memory_order_relaxed) == 0) return;
+  const std::size_t dead_at_entry =
+      dead_count_.load(std::memory_order_relaxed);
+  if (dead_at_entry == 0) return;
+  TraceSpan span(trace_, "gc", "kernel");
+  span.arg("dead_nodes", static_cast<double>(dead_at_entry));
+  const auto gc_start = profiling_ ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
   // Dead nodes still hold references to their children (dropped lazily,
   // here). Removing a dead node can therefore kill its children; iterate
   // until the dead set is stable.
@@ -665,6 +672,11 @@ void Manager::collect_garbage() {
   }
   clear_cache();
   ++gc_runs_;
+  if (profiling_) {
+    gc_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - gc_start)
+                       .count();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -679,15 +691,79 @@ ManagerStats Manager::stats() const {
   s.peak_live = peak_live_.load(std::memory_order_relaxed);
   s.gc_runs = gc_runs_;
   // Merge the per-worker counter blocks; with threads=1 only block 0 is
-  // ever touched, so the sums equal the old scalar counters exactly.
+  // ever touched, so the sums equal the old scalar counters exactly. The
+  // per-op slots fold into four groups whose sums partition the aggregate
+  // (the cache_hit_rate() split of ISSUE 10's satellite (b)).
   for (const HotCounters& h : hot_) {
     s.unique_hits += h.unique_hits;
-    s.cache_hits += h.cache_hits;
-    s.cache_lookups += h.cache_lookups;
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      s.cache_hits += h.cache_hits[k];
+      s.cache_lookups += h.cache_lookups[k];
+      std::size_t* hits = nullptr;
+      std::size_t* lookups = nullptr;
+      switch (static_cast<OpKind>(k)) {
+        case OpKind::kAndExistsMulti:
+          hits = &s.multi_cache_hits;
+          lookups = &s.multi_cache_lookups;
+          break;
+        case OpKind::kRelNext:
+        case OpKind::kReach:
+          hits = &s.reach_cache_hits;
+          lookups = &s.reach_cache_lookups;
+          break;
+        case OpKind::kPermute:
+          hits = &s.permute_cache_hits;
+          lookups = &s.permute_cache_lookups;
+          break;
+        default:
+          hits = &s.binary_cache_hits;
+          lookups = &s.binary_cache_lookups;
+          break;
+      }
+      *hits += h.cache_hits[k];
+      *lookups += h.cache_lookups[k];
+    }
   }
   s.bucket_count = buckets_.size();
   s.var_count = var2level_.size();
   return s;
+}
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kAnd: return "and";
+    case OpKind::kXor: return "xor";
+    case OpKind::kIte: return "ite";
+    case OpKind::kExists: return "exists";
+    case OpKind::kAndExists: return "and_exists";
+    case OpKind::kCofactor: return "cofactor";
+    case OpKind::kRestrict: return "restrict";
+    case OpKind::kAndExistsMulti: return "and_exists_multi";
+    case OpKind::kRelNext: return "rel_next";
+    case OpKind::kReach: return "reach";
+    case OpKind::kPermute: return "permute";
+  }
+  return "?";
+}
+
+ManagerProfile Manager::profile() const {
+  ManagerProfile p;
+  for (const HotCounters& h : hot_) {
+    for (std::size_t k = 0; k < kOpKindCount; ++k) {
+      p.ops[k].calls += h.calls[k];
+      p.ops[k].cache_lookups += h.cache_lookups[k];
+      p.ops[k].cache_hits += h.cache_hits[k];
+    }
+  }
+  for (std::size_t k = 0; k < kOpKindCount; ++k) {
+    p.ops[k].seconds = op_seconds_[k];
+  }
+  p.gc_runs = gc_runs_;
+  p.gc_seconds = gc_seconds_;
+  p.sift_runs = sift_runs_;
+  p.sift_seconds = sift_seconds_;
+  p.timings_armed = profiling_;
+  return p;
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,8 @@ namespace stgcheck::bdd {
 
 Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kAnd)];
+  ProfileTimer timer(*this, OpKind::kAnd);
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -46,6 +48,8 @@ Bdd Manager::apply_and(const Bdd& f, const Bdd& g) {
 
 Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kAnd)];
+  ProfileTimer timer(*this, OpKind::kAnd);
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -62,6 +66,8 @@ Bdd Manager::apply_or(const Bdd& f, const Bdd& g) {
 
 Bdd Manager::apply_xor(const Bdd& f, const Bdd& g) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kXor)];
+  ProfileTimer timer(*this, OpKind::kXor);
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -83,6 +89,8 @@ Bdd Manager::apply_not(const Bdd& f) {
 
 Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kIte)];
+  ProfileTimer timer(*this, OpKind::kIte);
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min({level(f.ref()), level(g.ref()),
@@ -100,6 +108,8 @@ Bdd Manager::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
 
 Bdd Manager::cofactor(const Bdd& f, const Bdd& cube) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kCofactor)];
+  ProfileTimer timer(*this, OpKind::kCofactor);
   Bdd result = make_handle(cofactor_rec(f.ref(), cube.ref()));
   maybe_gc();
   return result;
@@ -107,6 +117,8 @@ Bdd Manager::cofactor(const Bdd& f, const Bdd& cube) {
 
 Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kExists)];
+  ProfileTimer timer(*this, OpKind::kExists);
   NodeRef raw;
   if (pool_ != nullptr && fork_worthwhile(fork_depth_, level(f.ref()))) {
     ParallelRegion region(*this);
@@ -122,6 +134,8 @@ Bdd Manager::exists(const Bdd& f, const Bdd& cube) {
 
 Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kExists)];
+  ProfileTimer timer(*this, OpKind::kExists);
   // De Morgan: forall x. f == not exists x. not f -- shares the EXISTS cache.
   NodeRef raw;
   if (pool_ != nullptr && fork_worthwhile(fork_depth_, level(f.ref()))) {
@@ -139,6 +153,8 @@ Bdd Manager::forall(const Bdd& f, const Bdd& cube) {
 
 Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kAndExists)];
+  ProfileTimer timer(*this, OpKind::kAndExists);
   NodeRef raw;
   if (pool_ != nullptr &&
       fork_worthwhile(fork_depth_, std::min(level(f.ref()), level(g.ref())))) {
@@ -157,6 +173,8 @@ Bdd Manager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
 Bdd Manager::and_exists_multi(const std::vector<Bdd>& conjuncts,
                               const Bdd& cube) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kAndExistsMulti)];
+  ProfileTimer timer(*this, OpKind::kAndExistsMulti);
   std::vector<NodeRef> ops;
   ops.reserve(conjuncts.size());
   std::size_t top = kTerminalLevel;
@@ -189,6 +207,8 @@ Bdd Manager::and_exists_multi(const std::vector<Bdd>& conjuncts,
 
 Bdd Manager::restrict(const Bdd& f, const Bdd& care) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kRestrict)];
+  ProfileTimer timer(*this, OpKind::kRestrict);
   Bdd result = make_handle(restrict_rec(f.ref(), care.ref()));
   maybe_gc();
   return result;
@@ -201,6 +221,8 @@ std::string Manager::var_desc(Var v) const {
 
 Bdd Manager::permute(const Bdd& f, const std::vector<Var>& perm) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kPermute)];
+  ProfileTimer timer(*this, OpKind::kPermute);
   // Validate over f's support (sorted by current level): every variable
   // mapped, every target known, no two variables sharing a target. A
   // duplicated target is not a substitution -- it would silently merge two
@@ -255,12 +277,12 @@ Bdd Manager::permute(const Bdd& f, const std::vector<Var>& perm) {
     h = (h << 13) | (h >> 51);
   }
   h ^= h >> 33;
-  ++hot().cache_lookups;
+  ++hot().cache_lookups[op_slot(OpKind::kPermute)];
   if (!permute_cache_.empty()) {
     const PermuteCacheEntry& e =
         permute_cache_[static_cast<std::size_t>(h) & permute_cache_mask_];
     if (e.result != kInvalidRef && e.key == key) {
-      ++hot().cache_hits;
+      ++hot().cache_hits[op_slot(OpKind::kPermute)];
       return make_handle(e.result);
     }
   }

@@ -29,6 +29,8 @@
 // deferred work at quiescence.
 #include "bdd/bdd.hpp"
 
+#include "util/trace.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <utility>
@@ -459,6 +461,11 @@ NodeRef Manager::fire_group(NodeRef cur, std::size_t begin, std::size_t end,
                             int depth) {
   if (end - begin == 1) {
     const ReachRule& rule = reach_rules_[begin];
+    // One saturation rule firing (parallel path): counted on the kRelNext
+    // slot and spanned when tracing is armed, mirroring reach_rec.
+    ++hot().calls[op_slot(OpKind::kRelNext)];
+    TraceSpan firing(trace_, "reach_rule", "kernel");
+    firing.arg("rule", static_cast<double>(begin));
     const NodeRef step =
         rel_next_par(cur, rule.rel, rule.cube, rule.shift, depth);
     return or_par(cur, step, depth);

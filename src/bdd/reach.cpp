@@ -35,6 +35,7 @@
 #include <cassert>
 
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace stgcheck::bdd {
 
@@ -131,6 +132,8 @@ void Manager::validate_reach_states(const Bdd& states,
 Bdd Manager::rel_next(const Bdd& states, const Bdd& rel, const Bdd& support,
                       std::ptrdiff_t shift) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kRelNext)];
+  ProfileTimer timer(*this, OpKind::kRelNext);
   std::vector<char> twin_mask(var2level_.size(), 0);
   validate_reach_relation(rel, support, twin_mask, shift);
   validate_reach_states(states, twin_mask);
@@ -224,6 +227,8 @@ NodeRef Manager::rel_next_rec(NodeRef s, NodeRef r, NodeRef cube,
 Bdd Manager::reach(const Bdd& states,
                    const std::vector<ReachRelation>& relations) {
   poll_budget();
+  ++hot().calls[op_slot(OpKind::kReach)];
+  ProfileTimer timer(*this, OpKind::kReach);
   std::vector<ReachRule> rules;
   rules.reserve(relations.size());
   std::vector<char> twin_mask(var2level_.size(), 0);
@@ -328,6 +333,11 @@ NodeRef Manager::reach_rec(NodeRef s, std::size_t rule) {
       const NodeRef rel = reach_rules_[rule].rel;
       const NodeRef cube = reach_rules_[rule].cube;
       const std::int32_t shift = reach_rules_[rule].shift;
+      // One saturation rule firing: an in-kernel rel_next application,
+      // counted on the kRelNext slot and spanned when tracing is armed.
+      ++hot().calls[op_slot(OpKind::kRelNext)];
+      TraceSpan firing(trace_, "reach_rule", "kernel");
+      firing.arg("rule", static_cast<double>(rule));
       const NodeRef step = rel_next_rec(cur, rel, cube, shift);
       const NodeRef next = or_rec(cur, step);
       if (next == cur) break;
@@ -353,13 +363,13 @@ std::size_t Manager::reach_hash(NodeRef states, std::size_t rule) const {
 }
 
 NodeRef Manager::reach_cache_lookup(NodeRef states, std::size_t rule) const {
-  ++hot().cache_lookups;
+  ++hot().cache_lookups[op_slot(Op::kReach)];
   if (reach_cache_.empty()) return kInvalidRef;
   const ReachCacheEntry& e =
       reach_cache_[reach_hash(states, rule) & reach_cache_mask_];
   if (!parallel_active_) {
     if (e.result != kInvalidRef && e.states == states && e.rule == rule) {
-      ++hot().cache_hits;
+      ++hot().cache_hits[op_slot(Op::kReach)];
       return e.result;
     }
     return kInvalidRef;
@@ -380,7 +390,7 @@ NodeRef Manager::reach_cache_lookup(NodeRef states, std::size_t rule) const {
       std::atomic_ref<std::uint32_t>(me.version).load(std::memory_order_relaxed);
   if (v1 != v2) return kInvalidRef;
   if (eres != kInvalidRef && es == states && er == rule) {
-    ++hot().cache_hits;
+    ++hot().cache_hits[op_slot(Op::kReach)];
     return eres;
   }
   return kInvalidRef;
@@ -439,7 +449,7 @@ std::size_t Manager::rel_next_shift_hash(NodeRef s, NodeRef r, NodeRef cube,
 
 NodeRef Manager::rel_next_shift_lookup(NodeRef s, NodeRef r, NodeRef cube,
                                        std::int32_t shift) const {
-  ++hot().cache_lookups;
+  ++hot().cache_lookups[op_slot(Op::kRelNext)];
   if (rel_next_shift_cache_.empty()) return kInvalidRef;
   const RelNextShiftEntry& e =
       rel_next_shift_cache_[rel_next_shift_hash(s, r, cube, shift) &
@@ -447,7 +457,7 @@ NodeRef Manager::rel_next_shift_lookup(NodeRef s, NodeRef r, NodeRef cube,
   if (!parallel_active_) {
     if (e.result != kInvalidRef && e.states == s && e.rel == r &&
         e.cube == cube && e.shift == shift) {
-      ++hot().cache_hits;
+      ++hot().cache_hits[op_slot(Op::kRelNext)];
       return e.result;
     }
     return kInvalidRef;
@@ -472,7 +482,7 @@ NodeRef Manager::rel_next_shift_lookup(NodeRef s, NodeRef r, NodeRef cube,
       std::atomic_ref<std::uint32_t>(me.version).load(std::memory_order_relaxed);
   if (v1 != v2) return kInvalidRef;
   if (eres != kInvalidRef && es == s && er == r && ec == cube && esh == shift) {
-    ++hot().cache_hits;
+    ++hot().cache_hits[op_slot(Op::kRelNext)];
     return eres;
   }
   return kInvalidRef;

@@ -34,6 +34,7 @@
 #include <cassert>
 
 #include "util/error.hpp"
+#include "util/trace.hpp"
 
 namespace stgcheck::bdd {
 
@@ -90,6 +91,11 @@ std::size_t Manager::block_size_of(Var member) const {
 std::size_t Manager::sift(double max_growth) {
   if (var2level_.size() < 2) return live_nodes();
 
+  ++sift_runs_;
+  TraceSpan span(trace_, "sift", "kernel");
+  const auto sift_start = profiling_ ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
+
   collect_garbage();  // exact live counts; flushes all dead nodes
   clear_cache();      // node rewrites invalidate every cached result
   gc_enabled_ = false;
@@ -123,6 +129,11 @@ std::size_t Manager::sift(double max_growth) {
   gc_enabled_ = true;
   ++reorder_epoch_;
   collect_garbage();
+  if (profiling_) {
+    sift_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sift_start)
+                         .count();
+  }
   return live_nodes();
 }
 
@@ -243,6 +254,11 @@ std::size_t Manager::reorder(const std::vector<Var>& order) {
   }
   if (order == level2var_) return live_nodes();
 
+  ++sift_runs_;
+  TraceSpan span(trace_, "reorder", "kernel");
+  const auto sift_start = profiling_ ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point{};
+
   collect_garbage();
   clear_cache();
   gc_enabled_ = false;
@@ -262,6 +278,11 @@ std::size_t Manager::reorder(const std::vector<Var>& order) {
   gc_enabled_ = true;
   ++reorder_epoch_;
   collect_garbage();
+  if (profiling_) {
+    sift_seconds_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sift_start)
+                         .count();
+  }
   return live_nodes();
 }
 

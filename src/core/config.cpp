@@ -170,6 +170,10 @@ CheckConfig CheckConfig::from_json(const json::Value& obj) {
       config.limits.max_seconds = value.as_number();
     } else if (key == "max_steps") {
       config.limits.max_steps = json_size(value, key);
+    } else if (key == "trace") {
+      config.trace_path = value.as_string();
+    } else if (key == "profile") {
+      config.profile = value.as_bool();
     } else {
       bad("unknown option '" + key + "'");
     }
@@ -225,6 +229,12 @@ json::Value CheckConfig::to_json() const {
   if (limits.max_steps != 0) {
     obj.set("max_steps", Value(limits.max_steps));
   }
+  if (!trace_path.empty()) {
+    obj.set("trace", Value(trace_path));
+  }
+  if (profile) {
+    obj.set("profile", Value(true));
+  }
   return obj;
 }
 
@@ -257,6 +267,11 @@ bool CheckConfig::consume_flag(const std::vector<std::string>& args,
     limits.max_seconds = arg_double(value(), arg);
   } else if (arg == "--max-steps") {
     limits.max_steps = arg_size(value(), arg);
+  } else if (arg == "--trace") {
+    trace_path = value();
+    if (trace_path.empty()) bad("--trace expects a non-empty path");
+  } else if (arg == "--profile") {
+    profile = true;  // valueless flag
   } else {
     return false;
   }
@@ -314,6 +329,12 @@ std::vector<std::string> CheckConfig::to_args() const {
   if (limits.max_steps != 0) {
     flag("--max-steps", std::to_string(limits.max_steps));
   }
+  if (!trace_path.empty()) {
+    flag("--trace", trace_path);
+  }
+  if (profile) {
+    args.push_back("--profile");
+  }
   return args;
 }
 
@@ -329,7 +350,8 @@ bool operator==(const CheckConfig& a, const CheckConfig& b) {
          a.initial_nodes == b.initial_nodes &&
          a.limits.max_live_nodes == b.limits.max_live_nodes &&
          a.limits.max_seconds == b.limits.max_seconds &&
-         a.limits.max_steps == b.limits.max_steps;
+         a.limits.max_steps == b.limits.max_steps &&
+         a.trace_path == b.trace_path && a.profile == b.profile;
 }
 
 }  // namespace stgcheck::core

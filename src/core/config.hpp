@@ -22,7 +22,7 @@
 //   {"ordering":"interleaved","strategy":"chaining","engine":"cofactor",
 //    "schedule":"none","threads":1,"relation_templates":"off",
 //    "arbitrate":[["g1","g2"]],"initial_nodes":16384,"max_live_nodes":0,
-//    "max_seconds":0,"max_steps":0}
+//    "max_seconds":0,"max_steps":0,"trace":"out.json","profile":true}
 //
 // to_json()/to_args() emit only non-default members, so defaults
 // round-trip as the empty object / empty flag list and rendered requests
@@ -51,6 +51,13 @@ struct CheckConfig {
   /// Resource governance: 0 / null members mean unlimited (see
   /// util/budget.hpp). Armed on the session's manager around the check.
   ResourceBudget limits;
+  /// When non-empty, the session records Chrome trace_event spans and
+  /// writes the document here when the session is destroyed.
+  std::string trace_path;
+  /// Arms kernel wall-clock profiling (per-op/GC/sift timings in
+  /// Manager::profile()). Off by default: the disarmed kernel reads no
+  /// clock, so default runs stay bit-identical and overhead-free.
+  bool profile = false;
 
   /// Throws ModelError when a member is out of range (zero initial_nodes,
   /// negative or non-finite max_seconds, empty arbitration signal name,
@@ -73,7 +80,7 @@ struct CheckConfig {
   /// ModelError on a missing or malformed value. Flags:
   ///   --ordering --strategy --engine --schedule --threads
   ///   --relation-templates --arbitrate --initial-nodes --max-live-nodes
-  ///   --max-seconds --max-steps
+  ///   --max-seconds --max-steps --trace --profile
   bool consume_flag(const std::vector<std::string>& args, std::size_t& i);
 
   /// Parses a vector that must consist solely of config flags. Throws

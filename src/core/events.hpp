@@ -32,37 +32,17 @@
 #include <vector>
 
 #include "util/budget.hpp"
+#include "util/clock.hpp"
 #include "util/stopwatch.hpp"
 
 namespace stgcheck::core {
 
-/// Injected time source for event timestamps; seconds since an epoch the
-/// owner defines (session start for a CLI run, server start for a daemon).
-class Clock {
- public:
-  virtual ~Clock() = default;
-  virtual double seconds() const = 0;
-};
-
-/// Monotonic clock starting at 0 on construction.
-class SteadyClock final : public Clock {
- public:
-  double seconds() const override { return watch_.seconds(); }
-
- private:
-  Stopwatch watch_;
-};
-
-/// Hand-driven clock for tests: time moves only via advance()/set().
-class ManualClock final : public Clock {
- public:
-  double seconds() const override { return now_; }
-  void advance(double s) { now_ += s; }
-  void set(double s) { now_ = s; }
-
- private:
-  double now_ = 0;
-};
+// The clock interface moved to util/clock.hpp so the trace recorder and
+// metrics layer (which sit below core) can share it; these aliases keep
+// every existing core::Clock consumer compiling unchanged.
+using Clock = stgcheck::Clock;
+using SteadyClock = stgcheck::SteadyClock;
+using ManualClock = stgcheck::ManualClock;
 
 /// What a record reports. The wire names (server/protocol.cpp and the
 /// --json output use to_string below) are part of the protocol schema
@@ -133,6 +113,9 @@ class EventLog {
   /// The verdict record of `check`, or nullptr if it was never emitted.
   const EventRecord* find_verdict(std::string_view check) const;
   double now() const { return clock_->seconds(); }
+  /// The log's clock -- shared with the session's trace recorder so event
+  /// timestamps and trace spans live on one epoch.
+  const Clock* clock() const { return clock_; }
 
  private:
   SteadyClock own_clock_;

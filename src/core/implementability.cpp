@@ -5,6 +5,7 @@
 #include "petri/structural.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace stgcheck::core {
 
@@ -38,8 +39,17 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
   const auto verdict = [&](const char* check, bool ok, std::string detail = {}) {
     if (events != nullptr) events->verdict(check, ok, std::move(detail));
   };
+  // Phase boundaries double as trace spans: the phases are contiguous, so
+  // each span runs from the previous boundary to this one on the
+  // recorder's own clock.
+  double trace_mark = options.trace != nullptr ? options.trace->now() : 0;
   const auto phase_done = [&](const char* name, double seconds) {
     if (events != nullptr) events->phase_done(name, seconds);
+    if (options.trace != nullptr) {
+      const double now = options.trace->now();
+      options.trace->complete(name, "phase", trace_mark, now);
+      trace_mark = now;
+    }
   };
 
   // ---- Phase 1: traversal + consistency (+ safeness) ----------------------
@@ -48,6 +58,7 @@ ImplementabilityReport check_implementability(SymbolicStg& sym,
   traversal_options.engine = options.engine;
   traversal_options.engine_options = options.engine_options;
   traversal_options.events = events;
+  traversal_options.trace = options.trace;
   report.traversal = traverse(*engine, traversal_options);
   report.safe = report.traversal.safe;
   report.consistent = report.traversal.consistent;

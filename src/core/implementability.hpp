@@ -56,6 +56,9 @@ struct CheckOptions {
   /// gauges, one kPhaseDone per Table 1 column, and one kVerdict per
   /// individual check (core/events.hpp). Not owned; null disables emission.
   EventLog* events = nullptr;
+  /// When set, the checker records one trace span per Table 1 phase and
+  /// hands the recorder to the traversal (util/trace.hpp). Not owned.
+  TraceRecorder* trace = nullptr;
 };
 
 struct PhaseTimes {

@@ -32,6 +32,8 @@
 #include "core/events.hpp"
 #include "core/implementability.hpp"
 #include "stg/stg.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace stgcheck::core {
 
@@ -93,10 +95,25 @@ class CheckSession {
   /// Valid after run() started building the encoding; null before.
   SymbolicStg* encoding() { return sym_.get(); }
 
+  /// The session's trace recorder; non-null iff options.trace_path is set.
+  /// run() writes its document to trace_path before returning (completed
+  /// and governed outcomes alike).
+  TraceRecorder* trace() { return trace_.get(); }
+
+  /// Post-run observability fold: the manager's per-op profile and cache
+  /// counters, GC/sift phase gauges and the pool's work-stealing telemetry
+  /// as one flat metrics snapshot (util/metrics.hpp). Counter names are
+  /// `op_calls_<kind>` / `op_cache_lookups_<kind>` / `op_cache_hits_<kind>`
+  /// per OpKind plus gc/sift/pool counters; wall-clock gauges are present
+  /// but zero unless options.profile armed the kernel clock. Empty before
+  /// run() built the encoding.
+  metrics::MetricsSnapshot metrics_snapshot() const;
+
  private:
   stg::Stg stg_;
   SessionOptions options_;
   EventLog events_;
+  std::unique_ptr<TraceRecorder> trace_;
   std::shared_ptr<SymbolicStg> sym_;
   ImplementabilityReport report_;
   SessionOutcome outcome_ = SessionOutcome::kCompleted;

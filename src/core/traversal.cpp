@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace stgcheck::core {
 
@@ -176,7 +177,10 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
     // bound it -- any nonzero cap admits this one pass.
     ++result.stats.passes;
     sym.manager().count_budget_step();
-    reached = engine.reach_fixpoint(reached);
+    {
+      TraceSpan closure(options.trace, "reach_fixpoint", "engine");
+      reached = engine.reach_fixpoint(reached);
+    }
     ++result.stats.image_computations;
     const std::size_t reached_nodes = track_peak(reached);
     maintain();
@@ -212,6 +216,8 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
   } else {
     while (!stop) {
       ++result.stats.passes;
+      TraceSpan pass_span(options.trace, "pass", "traversal");
+      pass_span.arg("pass", static_cast<double>(result.stats.passes));
       // Pass boundary: the coarsest budget safe point (one pass = one
       // budget step). Finer trips land on the kernel wrapper entries.
       sym.manager().count_budget_step();
@@ -249,7 +255,12 @@ TraversalResult traverse(ImageEngine& engine, const TraversalOptions& options) {
         }
         if (stop) break;
 
-        const Bdd to = engine.image_unit(fire_base, u);
+        Bdd to = sym.manager().bdd_false();
+        {
+          TraceSpan image(options.trace, "image_unit", "engine");
+          image.arg("unit", static_cast<double>(u));
+          to = engine.image_unit(fire_base, u);
+        }
         ++result.stats.image_computations;
         const Bdd fresh = to.minus(reached);
         if (fresh.is_false()) continue;

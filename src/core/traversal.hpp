@@ -24,6 +24,10 @@
 #include "core/image_engine.hpp"
 #include "util/stopwatch.hpp"
 
+namespace stgcheck {
+class TraceRecorder;
+}
+
 namespace stgcheck::core {
 
 /// How the fixed point is computed; bench_traversal_strategies compares
@@ -84,6 +88,10 @@ struct TraversalOptions {
   /// owned; typically the CheckSession's log. Null disables emission --
   /// the benches and the paper-style CLI path pay nothing.
   EventLog* events = nullptr;
+  /// When set, the traversal records Chrome trace_event spans (one per
+  /// pass, one per engine image call / fixpoint closure) into it
+  /// (util/trace.hpp). Not owned; null disables recording.
+  TraceRecorder* trace = nullptr;
 };
 
 /// The between-pass maintenance trigger: collect garbage -- and, with

@@ -295,6 +295,9 @@ void CheckServer::handle_line(const std::shared_ptr<Connection>& conn,
       stop();
       return;
     }
+    case Request::Op::kMetrics:
+      handle_metrics(conn, request.session_id);
+      return;
     case Request::Op::kCheck:
       submit_checks(conn, std::move(request.checks), /*is_batch=*/false, {});
       return;
@@ -345,6 +348,50 @@ void CheckServer::handle_session_status(
     reply.set("progress", std::move(p));
   }
   conn->write_line(reply.dump());
+}
+
+void CheckServer::handle_metrics(const std::shared_ptr<Connection>& conn,
+                                 const std::string& session_id) {
+  const std::lock_guard<std::mutex> lock(metrics_mu_);
+  Value reply = Value::object();
+  reply.set("reply", Value("metrics"));
+  reply.set("version", Value(kProtocolVersion));
+  if (session_id.empty()) {
+    // Server-cumulative view: every finished session folded together.
+    reply.set("sessions", Value(metrics_sessions_));
+    reply.set("uptime", Value(clock_.seconds()));
+    reply.set("metrics", metrics_.snapshot().to_json());
+    conn->write_line(reply.dump());
+    return;
+  }
+  for (const auto& [id, snap] : session_metrics_) {
+    if (id == session_id) {
+      reply.set("session", Value(id));
+      reply.set("metrics", snap.to_json());
+      conn->write_line(reply.dump());
+      return;
+    }
+  }
+  conn->write_line(error_line(
+      ErrorCode::kUnknownSession,
+      "no metrics for session '" + session_id +
+          "' (unknown, unfinished, or evicted from the per-session ring)",
+      session_id));
+}
+
+void CheckServer::record_session_metrics(const std::string& id,
+                                         const metrics::MetricsSnapshot& snap) {
+  const std::lock_guard<std::mutex> lock(metrics_mu_);
+  metrics_.merge(snap);
+  ++metrics_sessions_;
+  // Reusing a finished id (clients key sessions by file path) evicts the
+  // stale snapshot, mirroring the registry's finished-ring semantics.
+  std::erase_if(session_metrics_,
+                [&](const auto& entry) { return entry.first == id; });
+  session_metrics_.emplace_back(id, snap);
+  while (session_metrics_.size() > kSessionMetricsKeep) {
+    session_metrics_.pop_front();
+  }
 }
 
 void CheckServer::submit_checks(const std::shared_ptr<Connection>& conn,
@@ -435,6 +482,9 @@ void CheckServer::submit_checks(const std::shared_ptr<Connection>& conn,
       registry_.mark_running(id, clock_.seconds());
       try {
         const core::ImplementabilityReport& report = session->run();
+        // Snapshot before finish(): finish destroys the session, and the
+        // fold is how the "metrics" op sees this session ever ran.
+        record_session_metrics(id, session->metrics_snapshot());
         Value result = Value::object();
         result.set("reply", Value("result"));
         result.set("session", Value(id));
@@ -460,6 +510,7 @@ void CheckServer::submit_checks(const std::shared_ptr<Connection>& conn,
         conn->write_line(result.dump());
       } catch (const std::exception& e) {
         // The session already streamed a kError record from inside run().
+        record_session_metrics(id, session->metrics_snapshot());
         Value result = Value::object();
         result.set("reply", Value("result"));
         result.set("session", Value(id));

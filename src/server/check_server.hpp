@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +45,7 @@
 #include "server/protocol.hpp"
 #include "server/registry.hpp"
 #include "server/scheduler.hpp"
+#include "util/metrics.hpp"
 
 namespace stgcheck::server {
 
@@ -93,9 +95,16 @@ class CheckServer {
                    const std::string& line);
   void handle_session_status(const std::shared_ptr<Connection>& conn,
                              const std::string& session_id);
+  void handle_metrics(const std::shared_ptr<Connection>& conn,
+                      const std::string& session_id);
   void submit_checks(const std::shared_ptr<Connection>& conn,
                      std::vector<CheckRequest> checks, bool is_batch,
                      std::string batch_id);
+  /// Folds a finished session's snapshot into the server-cumulative
+  /// registry and the bounded per-session ring. Called by scheduler jobs
+  /// just before registry_.finish() destroys the session.
+  void record_session_metrics(const std::string& id,
+                              const metrics::MetricsSnapshot& snap);
 
   ServerOptions options_;
   core::SteadyClock clock_;  // one time axis for every session
@@ -111,6 +120,15 @@ class CheckServer {
   std::vector<std::thread> conn_threads_;
   std::vector<std::weak_ptr<Connection>> conns_;  // for shutdown_io on stop
   std::size_t next_batch_ = 0;
+
+  /// Per-session snapshots kept for `{"op":"metrics","session":...}`;
+  /// oldest evicted past kSessionMetricsKeep.
+  static constexpr std::size_t kSessionMetricsKeep = 32;
+  std::mutex metrics_mu_;
+  metrics::MetricsRegistry metrics_;  ///< server-cumulative fold
+  std::size_t metrics_sessions_ = 0;  ///< sessions folded in
+  std::deque<std::pair<std::string, metrics::MetricsSnapshot>>
+      session_metrics_;
 };
 
 }  // namespace stgcheck::server

@@ -95,6 +95,9 @@ Request parse_request(const std::string& line) {
     request.session_id = string_member(doc, "session", true);
   } else if (op == "shutdown") {
     request.op = Request::Op::kShutdown;
+  } else if (op == "metrics") {
+    request.op = Request::Op::kMetrics;
+    request.session_id = string_member(doc, "session", false);
   } else if (op == "check") {
     request.op = Request::Op::kCheck;
     request.checks.push_back(parse_check_entry(doc, core::SessionOptions{}));

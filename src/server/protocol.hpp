@@ -17,6 +17,8 @@
 //   {"op":"batch","id":"...","nets":[{"id":"...","net":"..."},...],
 //    "options":{...}}
 //   {"op":"cancel","session":"s1"}
+//   {"op":"metrics"}                -- server-cumulative metrics snapshot
+//   {"op":"metrics","session":"s1"} -- one finished session's snapshot
 //   {"op":"shutdown"}
 //
 // The options object is the wire form of core::CheckConfig -- one parse
@@ -84,11 +86,12 @@ struct CheckRequest {
 };
 
 struct Request {
-  enum class Op { kPing, kStatus, kCheck, kBatch, kCancel, kShutdown };
+  enum class Op { kPing, kStatus, kCheck, kBatch, kCancel, kShutdown, kMetrics };
   Op op = Op::kPing;
   std::vector<CheckRequest> checks;  ///< kCheck: exactly 1; kBatch: >= 0
   std::string batch_id;              ///< kBatch; empty = server assigns
-  std::string session_id;  ///< kCancel: required; kStatus: empty = global
+  std::string session_id;  ///< kCancel: required; kStatus/kMetrics:
+                           ///< empty = server-wide
 };
 
 /// Parses one request line. Throws (ParseError for malformed JSON,

@@ -4,7 +4,7 @@ namespace stgcheck {
 
 thread_local std::size_t TaskPool::tls_index_ = 0;
 
-TaskPool::TaskPool(std::size_t threads) : deques_(threads) {
+TaskPool::TaskPool(std::size_t threads) : deques_(threads), cells_(threads) {
   threads_.reserve(threads - 1);
   for (std::size_t i = 1; i < threads; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -45,7 +45,10 @@ void TaskPool::worker_loop(std::size_t index) {
     if (shutdown_) return;
     lock.unlock();
     while (active_.load(std::memory_order_acquire)) {
-      if (!try_run_one(index)) std::this_thread::yield();
+      if (!try_run_one(index)) {
+        bump(cells_[index].idle_spins);
+        std::this_thread::yield();
+      }
     }
     lock.lock();
   }
@@ -71,11 +74,16 @@ void TaskPool::join(Task* t) {
     }
   }
   if (run_inline) {
+    bump(cells_[self].inline_joins);
+    bump(cells_[self].tasks_run);
     finish(t);
   } else {
     // Stolen: help with other work instead of blocking the core.
     while (!t->done_.load(std::memory_order_acquire)) {
-      if (!try_run_one(self)) std::this_thread::yield();
+      if (!try_run_one(self)) {
+        bump(cells_[self].idle_spins);
+        std::this_thread::yield();
+      }
     }
   }
   if (t->error_) std::rethrow_exception(t->error_);
@@ -92,6 +100,7 @@ bool TaskPool::try_run_one(std::size_t self) {
     }
   }
   if (t == nullptr) {
+    bump(cells_[self].steals_attempted);
     const std::size_t n = deques_.size();
     for (std::size_t k = 1; k < n && t == nullptr; ++k) {
       Deque& d = deques_[(self + k) % n];
@@ -101,10 +110,36 @@ bool TaskPool::try_run_one(std::size_t self) {
         d.items.erase(d.items.begin());
       }
     }
+    if (t != nullptr) bump(cells_[self].steals_succeeded);
   }
   if (t == nullptr) return false;
+  bump(cells_[self].tasks_run);
   finish(t);
   return true;
+}
+
+PoolTelemetry TaskPool::telemetry() const {
+  PoolTelemetry out;
+  out.workers.reserve(cells_.size());
+  for (const TelemetryCell& c : cells_) {
+    WorkerTelemetry w;
+    w.tasks_run = c.tasks_run.load(std::memory_order_relaxed);
+    w.steals_attempted = c.steals_attempted.load(std::memory_order_relaxed);
+    w.steals_succeeded = c.steals_succeeded.load(std::memory_order_relaxed);
+    w.inline_joins = c.inline_joins.load(std::memory_order_relaxed);
+    w.idle_spins = c.idle_spins.load(std::memory_order_relaxed);
+    out.total.tasks_run += w.tasks_run;
+    out.total.steals_attempted += w.steals_attempted;
+    out.total.steals_succeeded += w.steals_succeeded;
+    out.total.inline_joins += w.inline_joins;
+    out.total.idle_spins += w.idle_spins;
+    out.workers.push_back(w);
+  }
+  if (out.total.tasks_run > 0) {
+    out.steal_rate = static_cast<double>(out.total.steals_succeeded) /
+                     static_cast<double>(out.total.tasks_run);
+  }
+  return out;
 }
 
 }  // namespace stgcheck

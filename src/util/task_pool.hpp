@@ -20,11 +20,19 @@
 // Workers sleep on a condition variable between run_root() regions and
 // spin-yield inside one, so an idle pool costs nothing while a live
 // region never pays a wakeup latency on the steal path.
+//
+// Telemetry: every scheduling decision bumps a per-worker cache-line-
+// padded relaxed counter (tasks run, steal attempts/successes, inline
+// joins, idle spins). telemetry() merges the cells into per-worker and
+// aggregate views plus the steal rate the kSeqLevelCutoff/fork_depth
+// tuning work consumes. The counters sit next to mutex-guarded deque
+// operations, so the relaxed increments are noise on the fork/join path.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -33,6 +41,27 @@
 #include <vector>
 
 namespace stgcheck {
+
+/// One worker's scheduling counters (a telemetry() snapshot; also the
+/// aggregate row). All cumulative since pool construction.
+struct WorkerTelemetry {
+  std::uint64_t tasks_run = 0;          ///< tasks this thread executed
+  std::uint64_t steals_attempted = 0;   ///< own deque empty, went probing
+  std::uint64_t steals_succeeded = 0;   ///< ...and found a victim task
+  std::uint64_t inline_joins = 0;       ///< join() ran its own unstolen task
+  std::uint64_t idle_spins = 0;         ///< yield()s with every deque empty
+};
+
+/// Merged telemetry of the whole pool.
+struct PoolTelemetry {
+  std::vector<WorkerTelemetry> workers;  ///< index 0 = owner thread
+  WorkerTelemetry total;
+  /// Fraction of executed tasks obtained by theft rather than an own-deque
+  /// pop or an inline join: steals_succeeded / tasks_run (0 when no task
+  /// ever ran). High = forks are coarse enough to migrate; ~0 at the
+  /// sequential cutoff means the fork depth is too shallow to feed thieves.
+  double steal_rate = 0;
+};
 
 class TaskPool {
  public:
@@ -88,11 +117,29 @@ class TaskPool {
   /// run() raised.
   void join(Task* t);
 
+  /// Snapshot of the scheduling counters (see file comment). Safe to call
+  /// concurrently with a live region; the cells are relaxed atomics, so a
+  /// snapshot taken mid-region is approximate but never torn.
+  PoolTelemetry telemetry() const;
+
  private:
   struct alignas(64) Deque {
     std::mutex mu;
     std::vector<Task*> items;  // back = newest (popped LIFO, stolen FIFO)
   };
+
+  /// Per-worker counter cell: written only by its own thread, read by any
+  /// thread through telemetry(). Padded so neighbours never share a line.
+  struct alignas(64) TelemetryCell {
+    std::atomic<std::uint64_t> tasks_run{0};
+    std::atomic<std::uint64_t> steals_attempted{0};
+    std::atomic<std::uint64_t> steals_succeeded{0};
+    std::atomic<std::uint64_t> inline_joins{0};
+    std::atomic<std::uint64_t> idle_spins{0};
+  };
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
 
   void activate();
   void deactivate();
@@ -112,6 +159,7 @@ class TaskPool {
   static thread_local std::size_t tls_index_;
 
   std::vector<Deque> deques_;        // one per thread, index 0 = owner
+  mutable std::vector<TelemetryCell> cells_;  // parallel to deques_
   std::vector<std::thread> threads_; // the spawned workers (indices 1..)
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,123 @@
+// The Chrome trace_event exporter (util/trace.hpp): span lifetimes on a
+// ManualClock, nesting containment, monotone timestamps, numeric args,
+// the null-recorder no-op path, and the JSON document shape
+// chrome://tracing expects (parsed back through util/json).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
+
+namespace stgcheck {
+namespace {
+
+TEST(TraceSpan, NullRecorderIsNoOp) {
+  TraceSpan span(nullptr, "work", "test");
+  span.arg("n", 1);
+  // Nothing to assert beyond "does not crash": every member is a no-op.
+}
+
+TEST(TraceRecorder, ManualClockStampsSpans) {
+  ManualClock clock;
+  TraceRecorder rec(&clock);
+  clock.set(1.0);
+  {
+    TraceSpan span(&rec, "outer", "test");
+    clock.advance(0.5);
+  }
+  ASSERT_EQ(rec.event_count(), 1u);
+  const json::Value doc = json::Value::parse(rec.dump());
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").as_string(), "outer");
+  EXPECT_EQ(events[0].at("cat").as_string(), "test");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_DOUBLE_EQ(events[0].at("ts").as_number(), 1.0e6);   // microseconds
+  EXPECT_DOUBLE_EQ(events[0].at("dur").as_number(), 0.5e6);
+  EXPECT_EQ(events[0].at("pid").as_number(), 0.0);
+  EXPECT_EQ(events[0].at("tid").as_number(), 0.0);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+}
+
+TEST(TraceRecorder, NestedSpansRecordInnerFirstAndContained) {
+  ManualClock clock;
+  TraceRecorder rec(&clock);
+  {
+    TraceSpan outer(&rec, "outer", "test");
+    clock.advance(1.0);
+    {
+      TraceSpan inner(&rec, "inner", "test");
+      clock.advance(2.0);
+    }
+    clock.advance(1.0);
+  }
+  const json::Value doc = rec.to_json();
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close inner-first (RAII), so the inner event records first.
+  EXPECT_EQ(events[0].at("name").as_string(), "inner");
+  EXPECT_EQ(events[1].at("name").as_string(), "outer");
+  const double inner_ts = events[0].at("ts").as_number();
+  const double inner_end = inner_ts + events[0].at("dur").as_number();
+  const double outer_ts = events[1].at("ts").as_number();
+  const double outer_end = outer_ts + events[1].at("dur").as_number();
+  EXPECT_GE(inner_ts, outer_ts);   // containment
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(TraceRecorder, TimestampsMonotoneAcrossSequentialSpans) {
+  ManualClock clock;
+  TraceRecorder rec(&clock);
+  for (int i = 0; i < 4; ++i) {
+    TraceSpan span(&rec, "step", "test");
+    span.arg("i", i);
+    clock.advance(1.0);
+  }
+  const json::Value doc = rec.to_json();
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 4u);
+  double prev_end = -1;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const double ts = events[i].at("ts").as_number();
+    const double end = ts + events[i].at("dur").as_number();
+    EXPECT_GE(ts, prev_end);  // sequential spans never overlap
+    prev_end = end;
+    EXPECT_DOUBLE_EQ(events[i].at("args").at("i").as_number(),
+                     static_cast<double>(i));
+  }
+}
+
+TEST(TraceRecorder, ArgsOmittedWhenEmpty) {
+  ManualClock clock;
+  TraceRecorder rec(&clock);
+  { TraceSpan span(&rec, "bare", "test"); }
+  const json::Value doc = rec.to_json();
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].find("args"), nullptr);
+}
+
+TEST(TraceRecorder, NoDroppedEventsMemberWhenUnderCap) {
+  ManualClock clock;
+  TraceRecorder rec(&clock);
+  { TraceSpan span(&rec, "one", "test"); }
+  EXPECT_EQ(rec.dropped_count(), 0u);
+  const json::Value doc = rec.to_json();
+  EXPECT_EQ(doc.find("droppedEvents"), nullptr);
+}
+
+TEST(TraceRecorder, OwnClockWhenNull) {
+  TraceRecorder rec;  // own SteadyClock starting now
+  { TraceSpan span(&rec, "steady", "test"); }
+  const json::Value doc = rec.to_json();
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_GE(events[0].at("ts").as_number(), 0.0);
+  EXPECT_GE(events[0].at("dur").as_number(), 0.0);
+}
+
+}  // namespace
+}  // namespace stgcheck
